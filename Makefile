@@ -1,0 +1,37 @@
+# DStress reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments experiments-full fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick-scale campaign: every figure in a couple of minutes.
+experiments:
+	$(GO) run ./cmd/experiments -quick -ext
+
+# Full-scale campaign + markdown summary (the EXPERIMENTS.md numbers).
+experiments-full:
+	$(GO) run ./cmd/experiments -ext -markdown results.md
+
+# Short fuzzing pass over the two parsers and the interpreter.
+fuzz:
+	$(GO) test -fuzz=FuzzParseStmts -fuzztime=30s ./internal/minicc
+	$(GO) test -fuzz=FuzzInterpreter -fuzztime=30s ./internal/minicc
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/vpl
+
+clean:
+	rm -f results.md viruses.json

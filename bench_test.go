@@ -1,0 +1,200 @@
+// Package dstress's top-level benchmark harness: one benchmark per table
+// and figure of the paper's evaluation. Each benchmark regenerates its
+// figure on the simulated platform at the reduced (quick) scale, reports
+// the headline numbers as benchmark metrics, and logs the figure's rows
+// (visible with -v). Run the cmd/experiments binary for the full-scale
+// campaign and the complete printed tables.
+//
+//	go test -bench=. -benchmem
+package dstress
+
+import (
+	"testing"
+
+	"dstress/internal/experiments"
+)
+
+// benchStep runs one experiment per iteration on a fresh engine (prepared
+// with any prerequisite discoveries baked in via the engine defaults) and
+// reports the chosen metrics.
+func benchStep(b *testing.B,
+	step func(*experiments.Engine) (*experiments.Report, error),
+	metrics ...string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng, err := experiments.NewEngine(experiments.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := step(eng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rep.Rows {
+				b.Log(row)
+			}
+			for _, m := range metrics {
+				b.ReportMetric(rep.Metric(m), m)
+			}
+		}
+	}
+}
+
+// BenchmarkFig01bWorkloadVariation regenerates Fig 1b: single-bit error
+// counts per DIMM/rank for kmeans vs memcached under relaxed parameters.
+// Paper: ~1000x variation across workloads, ~633x across DIMMs.
+func BenchmarkFig01bWorkloadVariation(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig01bWorkloadVariation,
+		"variation_across_workloads", "variation_across_dimms")
+}
+
+// BenchmarkGAParameterTuning regenerates the GA parameter selection on the
+// bit-counting fitness. Paper: pop 40 / crossover 0.9 / mutation 0.5 wins
+// at ~80 generations.
+func BenchmarkGAParameterTuning(b *testing.B) {
+	benchStep(b, (*experiments.Engine).GAParameterTuning,
+		"best_population", "best_crossover", "best_mutation", "best_generations")
+}
+
+// BenchmarkFig08aWorst64Bit regenerates Fig 8a: the worst-case 64-bit data
+// pattern search at 55°C. Paper: converges to a repeating-'1100' pattern.
+func BenchmarkFig08aWorst64Bit(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig08aWorst64Bit,
+		"best_ce", "similarity_to_1100", "generations", "final_similarity")
+}
+
+// BenchmarkFig08bTemperatureInvariance regenerates Fig 8b: the same search
+// at 60°C rediscovers the 55°C pattern. Paper: cross-set SMF 0.90.
+func BenchmarkFig08bTemperatureInvariance(b *testing.B) {
+	benchStep(b, func(e *experiments.Engine) (*experiments.Report, error) {
+		if _, err := e.Fig08aWorst64Bit(); err != nil {
+			return nil, err
+		}
+		return e.Fig08bTemperatureInvariance()
+	}, "similarity_best_55_vs_60", "cross_population_similarity",
+		"consensus_similarity")
+}
+
+// BenchmarkFig08cBest64Bit regenerates Fig 8c: the CE-minimizing search.
+// Paper: the worst-case pattern induces ~8x more CEs than the best case.
+func BenchmarkFig08cBest64Bit(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig08cBest64Bit,
+		"best_case_ce", "worst_case_ce", "worst_over_best")
+}
+
+// BenchmarkFig08dUEPatterns regenerates Fig 8d: the max-UE search at 62°C.
+// Paper: UEs in 100% of runs, no convergence (SMF 0.58), bits 17,18,21,22
+// always zero.
+func BenchmarkFig08dUEPatterns(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig08dUEPatterns,
+		"best_ue_frac", "final_similarity", "converged",
+		"bits17_18_21_22_zero_frac")
+}
+
+// BenchmarkFig08eMicrobenchComparison regenerates Fig 8e: discovered
+// patterns vs the traditional micro-benchmark suite across DIMM2/DIMM3.
+// Paper: the virus induces >=45% more CEs than the best baseline.
+func BenchmarkFig08eMicrobenchComparison(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig08eMicrobenchComparison,
+		"worst_virus_ce", "best_baseline_ce", "virus_margin_over_baseline")
+}
+
+// BenchmarkFig09Worst24KB regenerates Fig 9: the 24-KByte data-pattern
+// search. Paper: +16% CEs over the worst 64-bit pattern, converges.
+func BenchmarkFig09Worst24KB(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig09Worst24KB,
+		"uniform_worst_ce", "ideal_block_ce", "ideal_gain_over_uniform",
+		"ga_gain_over_uniform")
+}
+
+// BenchmarkFig10Worst512KB regenerates Fig 10: the 512-KByte search brings
+// no gain — interference does not cross banks.
+func BenchmarkFig10Worst512KB(b *testing.B) {
+	benchStep(b, func(e *experiments.Engine) (*experiments.Report, error) {
+		if _, err := e.Fig09Worst24KB(); err != nil {
+			return nil, err
+		}
+		return e.Fig10Worst512KB()
+	}, "ideal_gain_over_uniform", "gain_over_24k")
+}
+
+// BenchmarkFig11AccessTemplate1 regenerates Fig 11: the row-selection
+// access virus. Paper: +71% CEs over the data-only pattern; no convergence.
+func BenchmarkFig11AccessTemplate1(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig11AccessTemplate1,
+		"ga_best_ce", "data_only_ce", "gain_over_data", "final_similarity")
+}
+
+// BenchmarkFig12AccessTemplate2 regenerates Fig 12: the element-coefficient
+// access virus. Paper: above the data patterns but below template 1; the
+// coefficient search does not converge (JW 0.45).
+func BenchmarkFig12AccessTemplate2(b *testing.B) {
+	benchStep(b, func(e *experiments.Engine) (*experiments.Report, error) {
+		if _, err := e.Fig11AccessTemplate1(); err != nil {
+			return nil, err
+		}
+		return e.Fig12AccessTemplate2()
+	}, "ga_best_ce", "gain_over_data", "vs_template1", "final_similarity")
+}
+
+// BenchmarkFig13aDataPatternPDF regenerates Fig 13a: the randomized
+// data-pattern CE distribution, its normality, and the discovery
+// probabilities. Paper: P(found worst) = 0.97 (64-bit), 1-4e-7 (24-KByte).
+func BenchmarkFig13aDataPatternPDF(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig13aDataPatternPDF,
+		"d64_mean", "d64_sigma", "d64_p_found_worst", "d24_p_stronger_exists")
+}
+
+// BenchmarkFig13bAccessPatternPDF regenerates Fig 13b: the randomized
+// access-pattern distribution. Paper: P(found worst) = 0.95.
+func BenchmarkFig13bAccessPatternPDF(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig13bAccessPatternPDF,
+		"mean", "sigma", "p_found_worst")
+}
+
+// BenchmarkFig14MarginalTREFP regenerates Fig 14: the marginal refresh
+// periods per virus and temperature, the workload validation of the access
+// virus's margin, and the power savings. Paper: access virus most
+// pessimistic; margins validated by real workloads; 17.7% DRAM / 8.6%
+// system savings.
+func BenchmarkFig14MarginalTREFP(b *testing.B) {
+	benchStep(b, (*experiments.Engine).Fig14MarginalTREFP,
+		"margin_64_bit_data_50C", "margin_access_50C",
+		"validation_clean", "dram_savings", "system_savings")
+}
+
+// BenchmarkExtMarchComparison regenerates the March-vs-virus extension:
+// back-to-back March tests miss retention faults; the virus scan finds the
+// most error-prone rows.
+func BenchmarkExtMarchComparison(b *testing.B) {
+	benchStep(b, (*experiments.Engine).ExtMarchComparison,
+		"march_plain_rows", "march_aware_rows", "virus_rows")
+}
+
+// BenchmarkExtRowhammer regenerates the clflush rowhammer extension.
+func BenchmarkExtRowhammer(b *testing.B) {
+	benchStep(b, (*experiments.Engine).ExtRowhammer,
+		"cached_ce", "clflush_ce", "clflush_gain")
+}
+
+// BenchmarkExtRetentionProfiling regenerates the profiling-coverage
+// extension: MSCAN fills miss rows the virus exposes.
+func BenchmarkExtRetentionProfiling(b *testing.B) {
+	benchStep(b, (*experiments.Engine).ExtRetentionProfiling,
+		"virus_rows", "mscan_rows", "mscan_coverage")
+}
+
+// BenchmarkExtRetentionAwareRefresh regenerates the RAIDR-style refresh
+// plan comparison: the virus-profiled plan is safe, the MSCAN one leaks.
+func BenchmarkExtRetentionAwareRefresh(b *testing.B) {
+	benchStep(b, (*experiments.Engine).ExtRetentionAwareRefresh,
+		"virus_plan_ce", "MSCAN_plan_ce", "virus_refresh_savings")
+}
+
+// BenchmarkExtPredictiveMaintenance regenerates the fleet health-scan
+// extension: the degrading DIMM is flagged scans before it fails.
+func BenchmarkExtPredictiveMaintenance(b *testing.B) {
+	benchStep(b, (*experiments.Engine).ExtPredictiveMaintenance,
+		"flagged_at_scan")
+}

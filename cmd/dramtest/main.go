@@ -1,0 +1,121 @@
+// Command dramtest runs a single data-pattern test — a traditional
+// micro-benchmark or an arbitrary 64-bit word — against the simulated
+// server's relaxed DIMM and prints the ECC log, the way the paper
+// characterizes DIMMs before and after a search.
+//
+// Usage:
+//
+//	dramtest -bench walking0s -temp 60
+//	dramtest -word 0x3333333333333333 -temp 62 -trefp 2.283 -vdd 1.428
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dstress/internal/core"
+	"dstress/internal/march"
+	"dstress/internal/microbench"
+	"dstress/internal/server"
+	"dstress/internal/xrand"
+)
+
+func main() {
+	bench := flag.String("bench", "",
+		"micro-benchmark: all0s | all1s | checkerboard | walking0s | walking1s | random")
+	word := flag.String("word", "", "64-bit fill word (hex), alternative to -bench")
+	marchName := flag.String("march", "",
+		"March test: mats | mats+ | marchb | marchc- (alternative to -bench/-word)")
+	retention := flag.Bool("retention", true,
+		"insert retention pauses into the March test")
+	temp := flag.Float64("temp", 60, "DIMM temperature in °C")
+	trefp := flag.Float64("trefp", core.MaxTREFP, "refresh period in seconds")
+	vdd := flag.Float64("vdd", core.RelaxedVDD, "supply voltage")
+	runs := flag.Int("runs", 10, "measurement runs to average")
+	seed := flag.Uint64("seed", 2020, "deterministic seed")
+	rows := flag.Int("rows", 16, "rows per bank of the simulated DIMMs")
+	mcu := flag.Int("mcu", server.MCU2, "MCU under test (2 or 3)")
+	flag.Parse()
+
+	selected := 0
+	for _, s := range []string{*bench, *word, *marchName} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected != 1 {
+		fatal(fmt.Errorf("specify exactly one of -bench, -word or -march"))
+	}
+
+	srv, err := server.New(server.DefaultConfig(*rows, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := core.New(srv, xrand.New(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	f.MCU = *mcu
+	f.Runs = *runs
+	if err := f.Apply(core.OperatingPoint{TREFP: *trefp, VDD: *vdd,
+		TempC: *temp}); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dramtest: DIMM%d at %.0f°C, TREFP %.3fs, VDD %.3fV (%d-run average)\n",
+		*mcu, *temp, *trefp, *vdd, *runs)
+
+	if *marchName != "" {
+		test, err := march.ByName(*marchName)
+		if err != nil {
+			fatal(err)
+		}
+		if *retention {
+			test = march.RetentionAware(test)
+		}
+		res, err := march.Run(srv.MCU(*mcu).Device(), test, march.Conditions{
+			TREFP: *trefp, TempC: *temp, VDD: *vdd, RNG: xrand.New(*seed),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d mismatches across %d failing rows\n",
+			res.Test, res.Mismatches, len(res.FailingRows))
+		return
+	}
+
+	if *bench != "" {
+		b, err := microbench.ByName(*bench, 16, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := f.RunBaseline(b)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s worst pass: %.2f CEs (UEs seen: %v)\n",
+			res.Name, res.WorstPassCE, res.AnyUE)
+		for rank, ce := range res.CEByRank {
+			fmt.Printf("  rank %d: %.2f CEs\n", rank, ce)
+		}
+		return
+	}
+
+	w, err := strconv.ParseUint(*word, 0, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad -word %q: %w", *word, err))
+	}
+	m, err := f.MeasureWord(w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fill %016x: %.2f CEs, UE in %.0f%% of runs, %.2f SDCs\n",
+		w, m.MeanCE, m.UEFrac*100, m.MeanSDC)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramtest:", err)
+	os.Exit(1)
+}

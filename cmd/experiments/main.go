@@ -1,0 +1,131 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated platform and prints the rows the paper
+// reports. With -markdown it also writes an EXPERIMENTS.md-style summary.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-rows N] [-only figID] [-markdown file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dstress/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced benchmark-scale budgets")
+	seed := flag.Uint64("seed", 2020, "campaign seed")
+	rows := flag.Int("rows", 0, "rows per bank (0 = config default)")
+	only := flag.String("only", "", "run a single experiment (e.g. fig8a)")
+	ext := flag.Bool("ext", false,
+		"also run the Section-VI extension experiments (March, rowhammer, profiling, maintenance)")
+	markdown := flag.String("markdown", "", "write a markdown summary to this file")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *rows > 0 {
+		cfg.RowsPerBank = *rows
+	}
+
+	eng, err := experiments.NewEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *only != "" {
+		step, ok := stepByID(eng)[*only]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (known: %s)",
+				*only, strings.Join(knownIDs(eng), ", ")))
+		}
+		rep, err := step()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+
+	if err := eng.RunAll(); err != nil {
+		fatal(err)
+	}
+	if *ext {
+		if err := eng.RunExtensions(); err != nil {
+			fatal(err)
+		}
+	}
+	for _, rep := range eng.Reports() {
+		fmt.Print(rep.String())
+		fmt.Println()
+	}
+	if *markdown != "" {
+		if err := writeMarkdown(*markdown, eng); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("markdown summary written to %s\n", *markdown)
+	}
+}
+
+func stepByID(e *experiments.Engine) map[string]func() (*experiments.Report, error) {
+	return map[string]func() (*experiments.Report, error){
+		"fig1b":           e.Fig01bWorkloadVariation,
+		"ga-tuning":       e.GAParameterTuning,
+		"fig8a":           e.Fig08aWorst64Bit,
+		"fig8b":           e.Fig08bTemperatureInvariance,
+		"fig8c":           e.Fig08cBest64Bit,
+		"fig8d":           e.Fig08dUEPatterns,
+		"fig8e":           e.Fig08eMicrobenchComparison,
+		"fig9":            e.Fig09Worst24KB,
+		"fig10":           e.Fig10Worst512KB,
+		"fig11":           e.Fig11AccessTemplate1,
+		"fig12":           e.Fig12AccessTemplate2,
+		"fig13a":          e.Fig13aDataPatternPDF,
+		"fig13b":          e.Fig13bAccessPatternPDF,
+		"fig14":           e.Fig14MarginalTREFP,
+		"ext-march":       e.ExtMarchComparison,
+		"ext-rowhammer":   e.ExtRowhammer,
+		"ext-profiling":   e.ExtRetentionProfiling,
+		"ext-refresh":     e.ExtRetentionAwareRefresh,
+		"ext-maintenance": e.ExtPredictiveMaintenance,
+	}
+}
+
+func knownIDs(e *experiments.Engine) []string {
+	ids := make([]string, 0)
+	for id := range stepByID(e) {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func writeMarkdown(path string, e *experiments.Engine) error {
+	var b strings.Builder
+	b.WriteString("# Regenerated evaluation results\n\n")
+	for _, rep := range e.Reports() {
+		fmt.Fprintf(&b, "## %s — %s\n\n```\n", rep.ID, rep.Title)
+		for _, row := range rep.Rows {
+			fmt.Fprintf(&b, "%s\n", row)
+		}
+		b.WriteString("```\n\n")
+		for _, note := range rep.Notes {
+			fmt.Fprintf(&b, "> %s\n", note)
+		}
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command fleetscan demonstrates the predictive-maintenance use case: it
+// runs periodic virus health scans over the server's DIMM fleet while one
+// module degrades, and prints the analyzer's verdicts per scan.
+//
+// Usage:
+//
+//	fleetscan [-scans 6] [-virus 0x3333333333333333] [-age-dimm 2]
+//	          [-age-rate 0.88] [-seed 2020]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dstress/internal/core"
+	"dstress/internal/predict"
+	"dstress/internal/server"
+	"dstress/internal/xrand"
+)
+
+func main() {
+	scans := flag.Int("scans", 6, "number of scan intervals to simulate")
+	virusWord := flag.Uint64("virus", 0x3333333333333333,
+		"health-probe virus word (hex)")
+	ageDIMM := flag.Int("age-dimm", server.MCU2,
+		"DIMM that degrades between scans (-1 for none)")
+	ageRate := flag.Float64("age-rate", 0.88,
+		"retention multiplier applied to the aging DIMM per interval")
+	seed := flag.Uint64("seed", 2020, "deterministic seed")
+	rows := flag.Int("rows", 16, "rows per bank of the simulated DIMMs")
+	flag.Parse()
+
+	srv, err := server.New(server.DefaultConfig(*rows, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := core.New(srv, xrand.New(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	analyzer := predict.NewAnalyzer()
+	analyzer.FleetZThreshold = 6
+
+	fmt.Printf("fleetscan: probing %d DIMMs with virus %016x at %v\n",
+		server.NumMCUs, *virusWord, predict.DefaultScanPoint())
+	for scan := 1; scan <= *scans; scan++ {
+		obs, err := predict.Scan(f, *virusWord, predict.DefaultScanPoint())
+		if err != nil {
+			fatal(err)
+		}
+		verdicts, err := analyzer.Record(obs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scan %d:", scan)
+		for i, o := range obs {
+			mark := ""
+			if verdicts[i].Flagged {
+				mark = "*"
+			}
+			fmt.Printf("  D%d=%.1f%s", o.MCU, o.MeanCE, mark)
+		}
+		fmt.Println()
+		for _, v := range verdicts {
+			if v.Flagged {
+				fmt.Printf("  -> DIMM%d flagged: %s\n", v.MCU, v.Reason)
+			}
+		}
+		if *ageDIMM >= 0 && *ageDIMM < server.NumMCUs {
+			if err := srv.MCU(*ageDIMM).Device().Age(*ageRate); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetscan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,235 @@
+// Package bitvec implements a dense, fixed-length bit vector. It is the
+// representation of data-pattern chromosomes (from 64 bits up to 512 KBytes)
+// and of in-memory row images in the DRAM model, so the operations the GA and
+// the device model need — get/set, flip, popcount, word access, match
+// counting — are implemented directly over the packed words.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"dstress/internal/xrand"
+)
+
+// Vec is a bit vector of fixed length. The zero value is an empty vector.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits.
+func New(n int) *Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromWords builds a vector of n bits backed by a copy of the given words.
+// Bits beyond n in the final word are cleared.
+func FromWords(n int, words []uint64) *Vec {
+	v := New(n)
+	copy(v.words, words)
+	v.maskTail()
+	return v
+}
+
+// FromUint64 returns a 64-bit vector holding w (bit 0 = least significant).
+func FromUint64(w uint64) *Vec { return FromWords(64, []uint64{w}) }
+
+// Random returns a vector of n bits where each bit is 1 with probability p.
+func Random(n int, p float64, rng *xrand.Rand) *Vec {
+	v := New(n)
+	if p == 0.5 {
+		// Fast path: fill words directly.
+		for i := range v.words {
+			v.words[i] = rng.Uint64()
+		}
+		v.maskTail()
+		return v
+	}
+	for i := 0; i < n; i++ {
+		if rng.Bool(p) {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func (v *Vec) maskTail() {
+	if r := v.n % 64; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Len returns the number of bits.
+func (v *Vec) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v *Vec) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, v.n))
+	}
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i to b.
+func (v *Vec) Set(i int, b bool) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Set(%d) out of range [0,%d)", i, v.n))
+	}
+	if b {
+		v.words[i>>6] |= 1 << uint(i&63)
+	} else {
+		v.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Flip inverts bit i.
+func (v *Vec) Flip(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Flip(%d) out of range [0,%d)", i, v.n))
+	}
+	v.words[i>>6] ^= 1 << uint(i&63)
+}
+
+// Word returns the 64-bit word starting at bit 64*i. Bits past Len are zero.
+func (v *Vec) Word(i int) uint64 { return v.words[i] }
+
+// NumWords returns the number of backing 64-bit words.
+func (v *Vec) NumWords() int { return len(v.words) }
+
+// Uint64 returns the first word; convenient for 64-bit patterns.
+func (v *Vec) Uint64() uint64 {
+	if len(v.words) == 0 {
+		return 0
+	}
+	return v.words[0]
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vec) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and o have the same length and bits.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchCount returns the number of positions where v and o agree. It panics
+// if lengths differ. This is the (a+d) term of the Sokal–Michener metric.
+func (v *Vec) MatchCount(o *Vec) int {
+	if v.n != o.n {
+		panic("bitvec: MatchCount length mismatch")
+	}
+	diff := 0
+	for i, w := range v.words {
+		diff += bits.OnesCount64(w ^ o.words[i])
+	}
+	return v.n - diff
+}
+
+// CopyRange copies length bits from src starting at srcOff into v starting
+// at dstOff.
+func (v *Vec) CopyRange(dstOff int, src *Vec, srcOff, length int) {
+	if length < 0 || dstOff < 0 || srcOff < 0 ||
+		dstOff+length > v.n || srcOff+length > src.n {
+		panic("bitvec: CopyRange out of range")
+	}
+	// Word-aligned fast path covers the common crossover case.
+	if dstOff%64 == 0 && srcOff%64 == 0 && length%64 == 0 {
+		copy(v.words[dstOff/64:dstOff/64+length/64],
+			src.words[srcOff/64:srcOff/64+length/64])
+		return
+	}
+	for i := 0; i < length; i++ {
+		v.Set(dstOff+i, src.Get(srcOff+i))
+	}
+}
+
+// FillPattern tiles the vector with the given pattern, repeating it from bit
+// 0. A 64-bit pattern fills every word identically.
+func (v *Vec) FillPattern(pattern *Vec) {
+	if pattern.n == 0 {
+		panic("bitvec: FillPattern with empty pattern")
+	}
+	if pattern.n == 64 {
+		for i := range v.words {
+			v.words[i] = pattern.words[0]
+		}
+		v.maskTail()
+		return
+	}
+	for i := 0; i < v.n; i++ {
+		v.Set(i, pattern.Get(i%pattern.n))
+	}
+}
+
+// String renders the vector as a bit string, bit 0 first, truncated with an
+// ellipsis beyond 128 bits.
+func (v *Vec) String() string {
+	var b strings.Builder
+	n := v.n
+	trunc := false
+	if n > 128 {
+		n, trunc = 128, true
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	if trunc {
+		fmt.Fprintf(&b, "... (%d bits)", v.n)
+	}
+	return b.String()
+}
+
+// Parse builds a vector from a bit string such as "1100". Characters other
+// than '0' and '1' are rejected.
+func Parse(s string) (*Vec, error) {
+	v := New(len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at %d", c, i)
+		}
+	}
+	return v, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(s string) *Vec {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,240 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstress/internal/xrand"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.OnesCount() != 0 {
+		t.Fatal("new vector not zeroed")
+	}
+	if v.NumWords() != 3 {
+		t.Fatalf("NumWords = %d, want 3", v.NumWords())
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(100)
+	v.Set(0, true)
+	v.Set(63, true)
+	v.Set(64, true)
+	v.Set(99, true)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.OnesCount() != 4 {
+		t.Fatalf("OnesCount = %d", v.OnesCount())
+	}
+	v.Flip(63)
+	if v.Get(63) {
+		t.Error("Flip did not clear bit 63")
+	}
+	v.Set(0, false)
+	if v.Get(0) {
+		t.Error("Set(0,false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, f := range map[string]func(){
+		"Get":  func() { v.Get(10) },
+		"Set":  func() { v.Set(-1, true) },
+		"Flip": func() { v.Flip(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	v := FromUint64(0b1101)
+	if !v.Get(0) || v.Get(1) || !v.Get(2) || !v.Get(3) {
+		t.Fatalf("FromUint64 bits wrong: %s", v)
+	}
+	if v.Uint64() != 0b1101 {
+		t.Fatalf("Uint64 = %b", v.Uint64())
+	}
+}
+
+func TestFromWordsMasksTail(t *testing.T) {
+	v := FromWords(4, []uint64{0xff})
+	if v.OnesCount() != 4 {
+		t.Fatalf("tail bits not masked: count=%d", v.OnesCount())
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	rng := xrand.New(1)
+	v := Random(300, 0.5, rng)
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Flip(200)
+	if v.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if v.Get(200) == c.Get(200) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Fatal("vectors of different length reported equal")
+	}
+}
+
+func TestMatchCount(t *testing.T) {
+	a := MustParse("110010")
+	b := MustParse("100011")
+	// positions: 0 match,1 diff,2 match,3 match,4 match,5 diff -> 4 matches
+	if got := a.MatchCount(b); got != 4 {
+		t.Fatalf("MatchCount = %d, want 4", got)
+	}
+	if got := a.MatchCount(a); got != 6 {
+		t.Fatalf("self MatchCount = %d, want 6", got)
+	}
+}
+
+func TestMatchCountProperty(t *testing.T) {
+	rng := xrand.New(2)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(500)
+		a := Random(n, 0.5, rng)
+		b := Random(n, 0.5, rng)
+		// Symmetric, bounded, and complements to Hamming distance.
+		m := a.MatchCount(b)
+		if m != b.MatchCount(a) || m < 0 || m > n {
+			return false
+		}
+		diff := 0
+		for i := 0; i < n; i++ {
+			if a.Get(i) != b.Get(i) {
+				diff++
+			}
+		}
+		return m+diff == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyRangeAligned(t *testing.T) {
+	src := New(256)
+	for i := 64; i < 128; i++ {
+		src.Set(i, true)
+	}
+	dst := New(256)
+	dst.CopyRange(128, src, 64, 64)
+	for i := 0; i < 256; i++ {
+		want := i >= 128 && i < 192
+		if dst.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, dst.Get(i), want)
+		}
+	}
+}
+
+func TestCopyRangeUnaligned(t *testing.T) {
+	src := MustParse("10110")
+	dst := New(10)
+	dst.CopyRange(3, src, 1, 4)
+	want := "0000110"
+	for i := 0; i < len(want); i++ {
+		if dst.Get(i) != (want[i] == '1') {
+			t.Fatalf("unaligned copy wrong at %d: %s", i, dst)
+		}
+	}
+}
+
+func TestCopyRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range CopyRange did not panic")
+		}
+	}()
+	New(10).CopyRange(5, New(10), 5, 6)
+}
+
+func TestFillPattern64(t *testing.T) {
+	v := New(256)
+	p := FromUint64(0xDEADBEEFCAFEF00D)
+	v.FillPattern(p)
+	for i := 0; i < v.NumWords(); i++ {
+		if v.Word(i) != 0xDEADBEEFCAFEF00D {
+			t.Fatalf("word %d = %x", i, v.Word(i))
+		}
+	}
+}
+
+func TestFillPatternShort(t *testing.T) {
+	v := New(12)
+	v.FillPattern(MustParse("1100"))
+	want := "110011001100"
+	for i := range want {
+		if v.Get(i) != (want[i] == '1') {
+			t.Fatalf("tiled pattern wrong: %s", v)
+		}
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	rng := xrand.New(3)
+	v := Random(100000, 0.3, rng)
+	frac := float64(v.OnesCount()) / 100000
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("density %v, want ~0.3", frac)
+	}
+	u := Random(100000, 0.5, rng)
+	frac = float64(u.OnesCount()) / 100000
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("density %v, want ~0.5", frac)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s := "1100101011110000"
+	v := MustParse(s)
+	if v.String() != s {
+		t.Fatalf("round trip: %s != %s", v.String(), s)
+	}
+	if _, err := Parse("10x1"); err == nil {
+		t.Fatal("Parse accepted invalid character")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	v := New(1000)
+	s := v.String()
+	if len(s) > 160 {
+		t.Fatalf("String too long: %d chars", len(s))
+	}
+}
+
+func BenchmarkMatchCount4K(b *testing.B) {
+	rng := xrand.New(4)
+	x := Random(4096, 0.5, rng)
+	y := Random(4096, 0.5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatchCount(y)
+	}
+}

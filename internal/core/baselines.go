@@ -1,0 +1,87 @@
+package core
+
+import (
+	"dstress/internal/dram"
+	"dstress/internal/microbench"
+)
+
+// BaselineResult is the measured outcome of one micro-benchmark.
+type BaselineResult struct {
+	Name string
+	// WorstPassCE is the maximum mean-CE over the benchmark's passes — a
+	// multi-pass test (MSCAN, walking patterns) reports its strongest pass.
+	WorstPassCE float64
+	// AnyUE reports whether any pass produced an uncorrectable error.
+	AnyUE bool
+	// CEByRank holds the per-rank CEs of the worst pass (Fig 8e is split
+	// by DIMM and rank).
+	CEByRank map[int]float64
+}
+
+// RunBaseline measures one micro-benchmark on the target MCU under the
+// current operating point.
+func (f *Framework) RunBaseline(b microbench.Benchmark) (BaselineResult, error) {
+	ctl := f.Srv.MCU(f.MCU)
+	dev := ctl.Device()
+	geom := dev.Geometry()
+	ctl.ResetStats()
+	out := BaselineResult{Name: b.Name}
+	for pass := 0; pass < b.Passes; pass++ {
+		dev.FillAll(func(k dram.RowKey) uint64 {
+			rowIdx := geom.ChunkIndex(k.Loc())
+			return b.Word(pass, rowIdx)
+		})
+		res, err := f.Srv.Evaluate(f.MCU, f.Runs, f.RNG.Split())
+		if err != nil {
+			return BaselineResult{}, err
+		}
+		if res.MeanCE >= out.WorstPassCE {
+			out.WorstPassCE = res.MeanCE
+			out.CEByRank = res.CEByRank
+		}
+		if res.UEFrac > 0 {
+			out.AnyUE = true
+		}
+	}
+	return out, nil
+}
+
+// RunBaselineSuite measures the whole traditional suite (the paper's
+// comparison set in Fig 8e): MSCAN all-0s/all-1s, checkerboard, walking-0s,
+// walking-1s and a random pattern.
+func (f *Framework) RunBaselineSuite(walkPasses int) ([]BaselineResult, error) {
+	suite, err := microbench.All(walkPasses, f.RNG.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	var out []BaselineResult
+	for _, b := range suite {
+		r, err := f.RunBaseline(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BestBaselineCE returns the strongest micro-benchmark of a suite run — the
+// reference the paper's ">=45% more errors" claim is made against.
+func BestBaselineCE(results []BaselineResult) (string, float64) {
+	name, best := "", 0.0
+	for _, r := range results {
+		if r.WorstPassCE > best {
+			name, best = r.Name, r.WorstPassCE
+		}
+	}
+	return name, best
+}
+
+// MeasureWord deploys a uniform 64-bit fill and measures it — used to
+// compare discovered patterns against baselines and across temperatures.
+func (f *Framework) MeasureWord(word uint64) (Measurement, error) {
+	ctl := f.Srv.MCU(f.MCU)
+	ctl.ResetStats()
+	ctl.Device().FillAllUniform(word)
+	return f.Measure()
+}

@@ -1,0 +1,186 @@
+// Package core is the public API of the DStress framework: the automatic
+// synthesis of DRAM reliability stress viruses with genetic algorithms, as
+// published at MICRO 2020. It wires together the substrates — the template
+// programming tool (vpl/minicc/virus), the GA engine (ga), the experimental
+// server (server/memctl/dram/thermal) and the analysis tools (stats,
+// virusdb) — into the paper's three phases:
+//
+//   - processing: templates are parsed and semantically analyzed, exposing
+//     the search parameters (package vpl; the standard experiment templates
+//     live in package virus);
+//   - synthesis: a GA generates candidate viruses from the template's
+//     search space (RunSearch);
+//   - evaluation: each candidate is deployed on the server and its fitness
+//     is the hardware ECC error count averaged over repeated runs
+//     (Framework.Evaluate, the search specs in specs.go).
+//
+// Beyond the searches, the package implements the paper's analyses: the
+// micro-benchmark baselines (baselines.go), the GA-efficiency probability
+// study (probability.go), the marginal-operating-parameter use case
+// (margins.go), the GA-parameter tuning experiment (tuning.go) and the
+// workload-variation study (workloads.go).
+package core
+
+import (
+	"fmt"
+
+	"dstress/internal/ga"
+	"dstress/internal/server"
+	"dstress/internal/virusdb"
+	"dstress/internal/xrand"
+)
+
+// Operating-point constants of the paper's platform.
+const (
+	NominalTREFP = 0.064
+	MaxTREFP     = 2.283
+	NominalVDD   = 1.5
+	RelaxedVDD   = 1.428
+)
+
+// OperatingPoint bundles refresh period, supply voltage and temperature.
+type OperatingPoint struct {
+	TREFP float64
+	VDD   float64
+	TempC float64
+}
+
+// Relaxed returns the paper's standard stress point — maximum refresh
+// period, minimum voltage — at the given temperature.
+func Relaxed(tempC float64) OperatingPoint {
+	return OperatingPoint{TREFP: MaxTREFP, VDD: RelaxedVDD, TempC: tempC}
+}
+
+// Measurement is the averaged ECC outcome of deploying one virus.
+type Measurement struct {
+	MeanCE  float64
+	MeanSDC float64
+	UEFrac  float64
+}
+
+// Framework couples the experimental server with a search configuration.
+type Framework struct {
+	Srv *server.Server
+	RNG *xrand.Rand
+
+	// MCU is the controller under test (default: MCU2, i.e. DIMM2).
+	MCU int
+	// Runs is the per-virus measurement averaging count (paper: 10).
+	Runs int
+	// DB, when non-nil, records every evaluated virus.
+	DB *virusdb.DB
+}
+
+// New builds a framework over a server with the paper's defaults.
+func New(srv *server.Server, rng *xrand.Rand) (*Framework, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("core: nil server")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	return &Framework{Srv: srv, RNG: rng, MCU: server.MCU2, Runs: 10}, nil
+}
+
+// Apply programs the relaxed domain and the testbed to the operating point.
+func (f *Framework) Apply(op OperatingPoint) error {
+	if err := f.Srv.SetRelaxedParams(op.TREFP, op.VDD); err != nil {
+		return err
+	}
+	return f.Srv.SetTemperature(op.TempC)
+}
+
+// Measure evaluates the target MCU under its current state (data contents,
+// access rates, operating point), averaging over f.Runs runs.
+func (f *Framework) Measure() (Measurement, error) {
+	res, err := f.Srv.Evaluate(f.MCU, f.Runs, f.RNG.Split())
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{MeanCE: res.MeanCE, MeanSDC: res.MeanSDC,
+		UEFrac: res.UEFrac}, nil
+}
+
+// Criterion is the search objective (Section III-C of the paper).
+type Criterion int
+
+// The search criteria.
+const (
+	// MaxCE searches for viruses maximizing correctable errors.
+	MaxCE Criterion = iota
+	// MinCE searches for the best-case pattern (fewest CEs).
+	MinCE
+	// MaxUE searches for viruses triggering uncorrectable errors; fitness
+	// is the fraction of runs that hit a UE, as the framework kills a
+	// virus at its first UE.
+	MaxUE
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case MaxCE:
+		return "max-ce"
+	case MinCE:
+		return "min-ce"
+	case MaxUE:
+		return "max-ue"
+	}
+	return "criterion(?)"
+}
+
+// Fitness converts a measurement into the GA's maximized objective. The
+// MaxUE objective is lexicographic: the UE run fraction dominates, and CE
+// counts — reported by the same ECC log — break ties, guiding the search
+// toward heavily stressed patterns while no candidate triggers UEs yet.
+func (c Criterion) Fitness(m Measurement) float64 {
+	switch c {
+	case MaxCE:
+		return m.MeanCE
+	case MinCE:
+		return -m.MeanCE
+	case MaxUE:
+		// The CE guidance fades as the UE fraction rises: once a virus
+		// reliably triggers UEs there is nothing left to distinguish
+		// candidates, which is why the paper's UE searches drift without
+		// converging.
+		return m.UEFrac*ueScale + (1-m.UEFrac)*m.MeanCE
+	default:
+		panic("core: unknown criterion")
+	}
+}
+
+// ueScale makes a single UE-producing run outweigh any CE count.
+const ueScale = 1e6
+
+// UEFracOf recovers the UE run fraction from a MaxUE fitness value.
+func UEFracOf(fitness float64) float64 {
+	frac := fitness / ueScale
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// Spec is one search experiment: it defines the chromosome encoding and how
+// a chromosome is deployed to the server as a runnable virus.
+type Spec interface {
+	// Name identifies the experiment (used as the virus-database key
+	// prefix).
+	Name() string
+	// Prepare performs one-time setup on the framework's target MCU
+	// (locating error-prone rows, installing a fixed data fill, ...).
+	Prepare(f *Framework) error
+	// NewPopulation samples the random first generation; chromosome
+	// lengths may depend on the framework's device geometry.
+	NewPopulation(f *Framework, size int, rng *xrand.Rand) []ga.Genome
+	// Deploy installs the virus encoded by g: data contents and/or access
+	// activity on the target MCU.
+	Deploy(f *Framework, g ga.Genome) error
+	// Encode captures g's chromosome into a database record.
+	Encode(g ga.Genome, rec *virusdb.Record)
+	// Decode rebuilds a genome from a database record (for resume).
+	Decode(rec virusdb.Record) (ga.Genome, error)
+}

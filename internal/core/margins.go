@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dstress/internal/power"
+)
+
+// MarginCriterion selects which errors a "safe" operating point must avoid.
+type MarginCriterion int
+
+// The margin criteria of Fig 14.
+const (
+	// NoErrors requires neither CEs nor UEs — the conservative margin.
+	NoErrors MarginCriterion = iota
+	// NoUEs tolerates correctable errors but no uncorrectable ones — the
+	// paper's "Single-bit errors" margin, which saves more power but is
+	// undesirable in production fleets.
+	NoUEs
+)
+
+func (m MarginCriterion) String() string {
+	if m == NoErrors {
+		return "no-errors"
+	}
+	return "no-UEs"
+}
+
+// TREFPGrid returns n geometrically spaced refresh periods spanning the
+// platform range [nominal, max], ascending.
+func TREFPGrid(n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	ratio := MaxTREFP / NominalTREFP
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		out[i] = NominalTREFP * math.Pow(ratio, frac)
+	}
+	return out
+}
+
+// MarginalTREFP finds the largest refresh period in the grid at which the
+// currently deployed virus produces no disallowed errors at the given
+// voltage and temperature, scanning from the most relaxed point downwards
+// as the paper's margin-detection procedure does. It returns the nominal
+// period if even that shows errors.
+//
+// deploy re-installs the virus (fill and access activity); it runs once
+// before the scan.
+func (f *Framework) MarginalTREFP(deploy func() error, vdd, tempC float64,
+	crit MarginCriterion, gridPoints int) (float64, error) {
+	if deploy == nil {
+		return 0, fmt.Errorf("core: nil deploy")
+	}
+	if err := f.Apply(OperatingPoint{TREFP: MaxTREFP, VDD: vdd, TempC: tempC}); err != nil {
+		return 0, err
+	}
+	if err := deploy(); err != nil {
+		return 0, err
+	}
+	grid := TREFPGrid(gridPoints)
+	for i := len(grid) - 1; i >= 0; i-- {
+		if err := f.Srv.SetRelaxedParams(grid[i], vdd); err != nil {
+			return 0, err
+		}
+		m, err := f.Measure()
+		if err != nil {
+			return 0, err
+		}
+		safe := m.UEFrac == 0 && m.MeanSDC == 0
+		if crit == NoErrors {
+			safe = safe && m.MeanCE == 0
+		}
+		if safe {
+			return grid[i], nil
+		}
+	}
+	return NominalTREFP, nil
+}
+
+// PowerSavings quantifies the use case: DRAM and system power at the
+// discovered marginal refresh period under relaxed voltage, relative to
+// nominal settings. It assumes idle activation rates (the savings the
+// paper reports are from refresh and voltage, measured across workloads).
+type PowerSavings struct {
+	MarginalTREFP float64
+	DIMMNominalW  float64
+	DIMMMarginalW float64
+	DIMMSavings   float64 // fraction
+	SystemSavings float64 // fraction
+}
+
+// SavingsAt computes the power savings of running every relaxed-domain DIMM
+// at the marginal point.
+func SavingsAt(model power.Model, marginalTREFP, vdd float64) (PowerSavings, error) {
+	nom, err := model.DIMM(NominalTREFP, NominalVDD, 0)
+	if err != nil {
+		return PowerSavings{}, err
+	}
+	rel, err := model.DIMM(marginalTREFP, vdd, 0)
+	if err != nil {
+		return PowerSavings{}, err
+	}
+	nomSys := model.System([]float64{nom, nom, nom, nom})
+	relSys := model.System([]float64{rel, rel, rel, rel})
+	return PowerSavings{
+		MarginalTREFP: marginalTREFP,
+		DIMMNominalW:  nom,
+		DIMMMarginalW: rel,
+		DIMMSavings:   power.Savings(nom, rel),
+		SystemSavings: power.Savings(nomSys, relSys),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"dstress/internal/stats"
+)
+
+// ProbabilityStudy is the paper's GA-efficiency analysis (Section V.5,
+// Fig 13): the CE counts of randomized patterns form (approximately) a
+// normal distribution; fitting it and integrating the tail above the GA's
+// best fitness estimates the probability that a stronger pattern exists —
+// and its complement, the probability that DStress found the worst case.
+type ProbabilityStudy struct {
+	Samples []float64
+	Summary stats.Summary
+	// Normality is the D'Agostino–Pearson omnibus test of the samples.
+	Normality stats.NormalityResult
+	// GABest is the fitness of the virus the GA discovered.
+	GABest float64
+	// PStrongerExists = P(X > GABest) under the fitted Gaussian.
+	PStrongerExists float64
+	// PFoundWorst = 1 - PStrongerExists.
+	PFoundWorst float64
+}
+
+// RandomPatternStudy evaluates n random chromosomes of the spec under the
+// given operating point, fits the distribution, and relates it to gaBest.
+func (f *Framework) RandomPatternStudy(spec Spec, criterion Criterion,
+	point OperatingPoint, n int, gaBest float64) (*ProbabilityStudy, error) {
+	if n < 20 {
+		return nil, fmt.Errorf("core: probability study needs >=20 samples")
+	}
+	if err := f.Apply(point); err != nil {
+		return nil, err
+	}
+	if err := spec.Prepare(f); err != nil {
+		return nil, err
+	}
+	rng := f.RNG.Split()
+	genomes := spec.NewPopulation(f, n, rng)
+	samples := make([]float64, 0, n)
+	for _, g := range genomes {
+		if err := spec.Deploy(f, g); err != nil {
+			return nil, err
+		}
+		m, err := f.Measure()
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, criterion.Fitness(m))
+	}
+	sum, err := stats.Summarize(samples)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := stats.DAgostinoPearson(samples)
+	if err != nil {
+		return nil, err
+	}
+	tail := stats.NormalTail(gaBest, sum.Mean, sum.StdDev)
+	return &ProbabilityStudy{
+		Samples:         samples,
+		Summary:         sum,
+		Normality:       norm,
+		GABest:          gaBest,
+		PStrongerExists: tail,
+		PFoundWorst:     1 - tail,
+	}, nil
+}
+
+// PDF returns the histogram of the sampled distribution (the bars of
+// Fig 13).
+func (p *ProbabilityStudy) PDF(bins int) (centers []float64, counts []int, err error) {
+	return stats.Histogram(p.Samples, bins)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dstress/internal/dram"
+)
+
+// ProfileResult is a retention profile of the target DIMM: for every row
+// that showed errors during the scan, the longest refresh period at which
+// it was still error-free (its retention bucket). This is the workflow of
+// retention-aware refresh proposals ([60],[61],[77] in the paper): profile
+// the cells, then refresh only as often as the weakest needs.
+type ProfileResult struct {
+	// SafeTREFP maps each error-prone row to the largest scanned refresh
+	// period at which it produced no errors (0 if it failed even at the
+	// nominal period).
+	SafeTREFP map[dram.RowKey]float64
+	// Grid is the scanned refresh-period grid, ascending.
+	Grid []float64
+	// Fills are the data words used as profiling patterns.
+	Fills []uint64
+}
+
+// Rows returns the discovered error-prone rows, sorted.
+func (p *ProfileResult) Rows() []dram.RowKey {
+	keys := make([]dram.RowKey, 0, len(p.SafeTREFP))
+	for k := range p.SafeTREFP {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		return a.Row < b.Row
+	})
+	return keys
+}
+
+// ProfileRetention scans the target DIMM: for every fill pattern and every
+// refresh period of the grid it fills the memory, runs `runs` evaluation
+// passes and records which rows produced errors. Using the discovered
+// worst-case virus word as the fill finds more error-prone rows than the
+// traditional MSCAN fills — the paper's core argument for why virus-based
+// profiling beats micro-benchmark profiling.
+func (f *Framework) ProfileRetention(fills []uint64, tempC float64,
+	gridPoints, runs int) (*ProfileResult, error) {
+	if len(fills) == 0 {
+		return nil, fmt.Errorf("core: no profiling fills")
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("core: runs = %d", runs)
+	}
+	grid := TREFPGrid(gridPoints)
+	res := &ProfileResult{
+		SafeTREFP: map[dram.RowKey]float64{},
+		Grid:      grid,
+		Fills:     append([]uint64(nil), fills...),
+	}
+	ctl := f.Srv.MCU(f.MCU)
+	ctl.ResetStats()
+	dev := ctl.Device()
+
+	// failAt[row] = the smallest scanned TREFP at which the row failed.
+	failAt := map[dram.RowKey]float64{}
+	for _, fill := range fills {
+		dev.Reset()
+		dev.FillAllUniform(fill)
+		for _, trefp := range grid {
+			if err := f.Srv.SetRelaxedParams(trefp, RelaxedVDD); err != nil {
+				return nil, err
+			}
+			if err := f.Srv.SetTemperature(tempC); err != nil {
+				return nil, err
+			}
+			for run := 0; run < runs; run++ {
+				r, err := dev.Run(dram.RunParams{
+					TREFP: ctl.TREFP(),
+					TempC: f.Srv.DIMMTemp(f.MCU),
+					VDD:   ctl.VDD(),
+					RNG:   f.RNG.Split(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, we := range r.Errors {
+					if prev, seen := failAt[we.Key]; !seen || trefp < prev {
+						failAt[we.Key] = trefp
+					}
+				}
+			}
+		}
+	}
+	for key, firstFail := range failAt {
+		safe := 0.0
+		for _, trefp := range grid {
+			if trefp < firstFail {
+				safe = trefp
+			}
+		}
+		res.SafeTREFP[key] = safe
+	}
+	return res, nil
+}
+
+// Coverage compares two profiles: the fraction of rows found by the
+// reference profile that the candidate profile also found, and the rows
+// only the reference found.
+func Coverage(reference, candidate *ProfileResult) (frac float64,
+	missed []dram.RowKey) {
+	if len(reference.SafeTREFP) == 0 {
+		return 1, nil
+	}
+	found := 0
+	for k := range reference.SafeTREFP {
+		if _, ok := candidate.SafeTREFP[k]; ok {
+			found++
+		} else {
+			missed = append(missed, k)
+		}
+	}
+	return float64(found) / float64(len(reference.SafeTREFP)), missed
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"dstress/internal/dram"
+)
+
+func TestProfileValidation(t *testing.T) {
+	f := testFramework(t, 50)
+	if _, err := f.ProfileRetention(nil, 60, 8, 3); err == nil {
+		t.Fatal("empty fill list accepted")
+	}
+	if _, err := f.ProfileRetention([]uint64{0}, 60, 8, 0); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestProfileFindsWeakRows(t *testing.T) {
+	f := testFramework(t, 51)
+	prof, err := f.ProfileRetention([]uint64{0x3333333333333333}, 60, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.SafeTREFP) == 0 {
+		t.Fatal("profile found no error-prone rows")
+	}
+	// Every profiled row must actually contain weak cells or clusters.
+	dev := f.Srv.MCU(f.MCU).Device()
+	weak := map[dram.RowKey]bool{}
+	for _, k := range dev.WeakRows() {
+		weak[k] = true
+	}
+	for _, k := range prof.Rows() {
+		if !weak[k] {
+			t.Fatalf("profiled row %+v has no defects", k)
+		}
+	}
+	// Safe periods lie on or below the grid and below the platform max.
+	for k, safe := range prof.SafeTREFP {
+		if safe < 0 || safe >= MaxTREFP {
+			t.Fatalf("row %+v safe TREFP %v out of range", k, safe)
+		}
+	}
+}
+
+func TestProfileSafePeriodsConsistent(t *testing.T) {
+	f := testFramework(t, 52)
+	prof, err := f.ProfileRetention([]uint64{0x3333333333333333}, 60, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deploy the same fill at each row's safe period: the row must not be
+	// among the failing rows (checked in aggregate: total errors at the
+	// minimum safe period over all rows must be zero).
+	minSafe := MaxTREFP
+	for _, safe := range prof.SafeTREFP {
+		if safe < minSafe {
+			minSafe = safe
+		}
+	}
+	if minSafe < NominalTREFP {
+		t.Skipf("weakest row unsafe even at nominal (%v); nothing to verify", minSafe)
+	}
+	dev := f.Srv.MCU(f.MCU).Device()
+	dev.Reset()
+	dev.FillAllUniform(0x3333333333333333)
+	if err := f.Srv.SetRelaxedParams(minSafe, RelaxedVDD); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VRT can still surprise occasionally; the profile used 3 runs, so a
+	// small residue is possible, but it must be far below the stress level.
+	if m.MeanCE > 2 {
+		t.Fatalf("%.1f CEs at the profiled safe period %v", m.MeanCE, minSafe)
+	}
+}
+
+// TestVirusProfilingBeatsMSCAN reproduces the paper's motivating claim:
+// profiling with the traditional MSCAN fills misses error-prone rows that
+// the synthesized worst-case virus exposes.
+func TestVirusProfilingBeatsMSCAN(t *testing.T) {
+	f := testFramework(t, 53)
+	virus, err := f.ProfileRetention([]uint64{0x3333333333333333}, 60, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mscan, err := f.ProfileRetention([]uint64{0, ^uint64(0)}, 60, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, missed := Coverage(virus, mscan)
+	t.Logf("virus profile: %d rows; MSCAN covers %.0f%% of them (misses %d)",
+		len(virus.SafeTREFP), frac*100, len(missed))
+	if len(missed) == 0 {
+		t.Fatal("MSCAN profiling missed nothing; the virus should expose more rows")
+	}
+	if frac > 0.98 {
+		t.Fatalf("MSCAN coverage %.2f suspiciously complete", frac)
+	}
+}
+
+func TestCoverageEdgeCases(t *testing.T) {
+	empty := &ProfileResult{SafeTREFP: map[dram.RowKey]float64{}}
+	frac, missed := Coverage(empty, empty)
+	if frac != 1 || missed != nil {
+		t.Fatal("empty reference mishandled")
+	}
+}

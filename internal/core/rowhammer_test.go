@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"dstress/internal/bitvec"
+	"dstress/internal/ga"
+)
+
+func TestRowhammerSpecValidation(t *testing.T) {
+	f := testFramework(t, 30)
+	if err := f.Apply(Relaxed(50)); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewRowhammerSpec(0x3333333333333333)
+	bad.NeighbourSpan = 0
+	if err := bad.Prepare(f); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	spec := NewRowhammerSpec(0x3333333333333333)
+	if err := spec.Prepare(f); err != nil {
+		t.Fatal(err)
+	}
+	wrong := ga.NewBitGenome(bitvec.New(3))
+	if err := spec.Deploy(f, wrong); err == nil {
+		t.Fatal("wrong genome length accepted")
+	}
+}
+
+// TestClflushHammerBeatsCachedAccess reproduces the paper's Section VI
+// observation: published rowhammer attacks flush the cache between loads,
+// reaching DRAM activation rates far above what explicit (cached) accesses
+// achieve — so the uncached hammer virus disturbs more than the cached
+// access virus even though it touches far fewer rows.
+func TestClflushHammerBeatsCachedAccess(t *testing.T) {
+	f := testFramework(t, 31)
+	if err := f.Apply(Relaxed(50)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cached access virus (template 1, everything selected).
+	rows := NewAccessRowsSpec(0x3333333333333333)
+	if err := rows.Prepare(f); err != nil {
+		t.Fatal(err)
+	}
+	all := bitvec.New(64)
+	for i := 0; i < 64; i++ {
+		all.Set(i, true)
+	}
+	if err := rows.Deploy(f, ga.NewBitGenome(all)); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := f.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Double-sided clflush hammer.
+	hammer := NewRowhammerSpec(0x3333333333333333)
+	if err := hammer.Prepare(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := hammer.Deploy(f, hammer.DoubleSidedGenome()); err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := f.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("at 50°C: cached access virus %.1f CEs, double-sided clflush hammer %.1f CEs",
+		cached.MeanCE, flushed.MeanCE)
+	if flushed.MeanCE <= cached.MeanCE {
+		t.Fatalf("clflush hammer (%.1f) not above cached virus (%.1f)",
+			flushed.MeanCE, cached.MeanCE)
+	}
+}
+
+// TestRowhammerSearch runs the GA over the small aggressor-selection space;
+// the optimum hammers everything in range.
+func TestRowhammerSearch(t *testing.T) {
+	f := testFramework(t, 32)
+	spec := NewRowhammerSpec(0x3333333333333333)
+	res, err := f.RunSearch(SearchConfig{
+		Spec:      spec,
+		Criterion: MaxCE,
+		Point:     Relaxed(50),
+		GA:        quickGA(25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := res.Best.(*ga.BitGenome).Bits
+	t.Logf("best aggressor selection: %s (%.1f CEs)", sel, res.BestFitness)
+	if sel.OnesCount() < 2 {
+		t.Fatalf("search selected only %d aggressor rows", sel.OnesCount())
+	}
+	// The ±1 double-sided core must be part of the optimum.
+	if !sel.Get(spec.NeighbourSpan-1) || !sel.Get(spec.NeighbourSpan) {
+		t.Fatalf("optimum does not include the double-sided rows: %s", sel)
+	}
+}
+
+// TestDoubleSidedGenomeShape checks the canonical attack chromosome.
+func TestDoubleSidedGenomeShape(t *testing.T) {
+	spec := NewRowhammerSpec(0)
+	g := spec.DoubleSidedGenome().(*ga.BitGenome)
+	if g.Bits.OnesCount() != 2 {
+		t.Fatalf("double-sided genome has %d bits set", g.Bits.OnesCount())
+	}
+	if !g.Bits.Get(spec.NeighbourSpan-1) || !g.Bits.Get(spec.NeighbourSpan) {
+		t.Fatal("double-sided genome does not select the ±1 rows")
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dstress/internal/bitvec"
+
+	"dstress/internal/ga"
+	"dstress/internal/virusdb"
+)
+
+// SearchConfig describes one synthesis run.
+type SearchConfig struct {
+	Spec      Spec
+	Criterion Criterion
+	Point     OperatingPoint
+	// GA holds the engine parameters; zero value means the paper defaults.
+	GA ga.Params
+	// Resume seeds the initial population with the strongest recorded
+	// viruses of this experiment, continuing an interrupted search.
+	Resume bool
+	// MaxDuration caps wall-clock time (the paper's two-week budget).
+	MaxDuration time.Duration
+}
+
+// experimentKey identifies the search in the virus database.
+func (c SearchConfig) experimentKey() string {
+	return fmt.Sprintf("%s/%s/%.0fC", c.Spec.Name(), c.Criterion, c.Point.TempC)
+}
+
+// SearchResult is the outcome of a synthesis run.
+type SearchResult struct {
+	ga.Result
+	Experiment string
+	// BestMeasurement re-measures the winning virus.
+	BestMeasurement Measurement
+	// Evaluations is the number of virus deployments performed.
+	Evaluations int
+}
+
+// RunSearch executes the synthesis phase: it applies the operating point,
+// prepares the experiment, runs the GA with the paper's parameters, records
+// every final-population virus in the database, and returns the discovered
+// population. This is the end-to-end DStress loop of Fig 4.
+func (f *Framework) RunSearch(cfg SearchConfig) (*SearchResult, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("core: nil spec")
+	}
+	params := cfg.GA
+	if params.PopulationSize == 0 {
+		params = ga.DefaultParams()
+	}
+	if cfg.MaxDuration > 0 {
+		params.MaxDuration = cfg.MaxDuration
+	}
+	if cfg.Criterion == MaxUE && !params.UseConvergeMinBest {
+		// A UE search must not stop on a population that merely agreed on
+		// a strong CE pattern without ever triggering an uncorrectable
+		// error.
+		params.UseConvergeMinBest = true
+		params.ConvergeMinBest = ueScale * 0.5
+	}
+	if err := f.Apply(cfg.Point); err != nil {
+		return nil, err
+	}
+	if err := cfg.Spec.Prepare(f); err != nil {
+		return nil, err
+	}
+
+	fitness := func(g ga.Genome) (float64, error) {
+		if err := cfg.Spec.Deploy(f, g); err != nil {
+			return 0, err
+		}
+		m, err := f.Measure()
+		if err != nil {
+			return 0, err
+		}
+		return cfg.Criterion.Fitness(m), nil
+	}
+
+	eng, err := ga.New(params, fitness, f.RNG.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	initial := cfg.Spec.NewPopulation(f, params.PopulationSize, f.RNG.Split())
+	if cfg.Resume && f.DB != nil {
+		seeded := 0
+		for _, rec := range f.DB.TopN(cfg.experimentKey(), params.PopulationSize) {
+			g, err := cfg.Spec.Decode(rec)
+			if err != nil {
+				return nil, fmt.Errorf("core: resuming %s: %w",
+					cfg.experimentKey(), err)
+			}
+			initial[seeded] = g
+			seeded++
+		}
+	}
+
+	res, err := eng.Run(initial)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SearchResult{
+		Result:      res,
+		Experiment:  cfg.experimentKey(),
+		Evaluations: eng.Evaluations,
+	}
+
+	// Re-deploy and re-measure the winner for the full measurement record.
+	if err := cfg.Spec.Deploy(f, res.Best); err != nil {
+		return nil, err
+	}
+	best, err := f.Measure()
+	if err != nil {
+		return nil, err
+	}
+	out.BestMeasurement = best
+
+	if f.DB != nil {
+		recs := make([]virusdb.Record, 0, len(res.Population))
+		for i, g := range res.Population {
+			rec := virusdb.Record{
+				Experiment: cfg.experimentKey(),
+				Fitness:    res.Fitnesses[i],
+				Generation: res.Generations,
+				TempC:      cfg.Point.TempC,
+				TREFP:      cfg.Point.TREFP,
+				VDD:        cfg.Point.VDD,
+			}
+			switch cfg.Criterion {
+			case MaxUE:
+				rec.UEFrac = UEFracOf(res.Fitnesses[i])
+			default:
+				rec.MeanCE = res.Fitnesses[i]
+			}
+			cfg.Spec.Encode(g, &rec)
+			recs = append(recs, rec)
+		}
+		if err := f.DB.Append(recs...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PopulationBits exposes the final population as bit vectors (for the
+// figure-style per-bit reports); it returns nil for integer genomes.
+func (r *SearchResult) PopulationBits() []string {
+	var out []string
+	for _, g := range r.Population {
+		bg, ok := g.(*ga.BitGenome)
+		if !ok {
+			return nil
+		}
+		out = append(out, bg.Bits.String())
+	}
+	return out
+}
+
+// ConsensusBits returns the per-position majority vote of a bit-genome
+// population — the stable core of the discovered patterns, with the
+// unconstrained drifting bits voted out. The paper's cross-temperature
+// comparison (Fig 8b) is a population-level statement; the consensus is
+// the right object to compare across searches. Returns nil for integer
+// genomes or an empty population.
+func (r *SearchResult) ConsensusBits() *bitvec.Vec {
+	if len(r.Population) == 0 {
+		return nil
+	}
+	first, ok := r.Population[0].(*ga.BitGenome)
+	if !ok {
+		return nil
+	}
+	n := first.Bits.Len()
+	ones := make([]int, n)
+	for _, g := range r.Population {
+		bg := g.(*ga.BitGenome)
+		for i := 0; i < n; i++ {
+			if bg.Bits.Get(i) {
+				ones[i]++
+			}
+		}
+	}
+	out := bitvec.New(n)
+	for i, c := range ones {
+		if 2*c >= len(r.Population) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"dstress/internal/ga"
+	"dstress/internal/xrand"
+)
+
+// TuningPoint is one GA configuration evaluated by the tuning study.
+type TuningPoint struct {
+	Population    int
+	CrossoverProb float64
+	MutationProb  float64
+	// MeanGenerations is the average number of generations until the
+	// OneMax optimum (all-ones 64-bit chromosome) is found, capped at
+	// MaxGenerations when a trial fails.
+	MeanGenerations float64
+	// SuccessRate is the fraction of trials that found the optimum.
+	SuccessRate float64
+}
+
+// TuneGA reproduces the paper's GA-parameter selection experiment: the
+// search is simulated on the bit-counting fitness function and the
+// configuration that reaches the optimum fastest is selected. The paper's
+// winner is mutation 0.5, crossover 0.9, population 40, at roughly 80
+// generations.
+func TuneGA(pops []int, crossovers, mutations []float64, trials,
+	maxGens int, rng *xrand.Rand) ([]TuningPoint, TuningPoint, error) {
+	if trials < 1 || maxGens < 1 {
+		return nil, TuningPoint{}, fmt.Errorf("core: bad tuning budget")
+	}
+	onesCount := func(g ga.Genome) (float64, error) {
+		return float64(g.(*ga.BitGenome).Bits.OnesCount()), nil
+	}
+	var grid []TuningPoint
+	for _, pop := range pops {
+		for _, cx := range crossovers {
+			for _, mu := range mutations {
+				pt := TuningPoint{Population: pop, CrossoverProb: cx,
+					MutationProb: mu}
+				sum, found := 0, 0
+				for trial := 0; trial < trials; trial++ {
+					params := ga.DefaultParams()
+					params.PopulationSize = pop
+					params.CrossoverProb = cx
+					params.MutationProb = mu
+					params.ConvergenceSim = 1.0 // measure time-to-optimum
+					params.MaxGenerations = maxGens
+					params.ElitismCount = 2
+					if params.ElitismCount >= pop {
+						params.ElitismCount = pop - 1
+					}
+					eng, err := ga.New(params, onesCount, rng.Split())
+					if err != nil {
+						return nil, TuningPoint{}, err
+					}
+					res, err := eng.Run(ga.RandomBitPopulation(pop, 64, rng.Split()))
+					if err != nil {
+						return nil, TuningPoint{}, err
+					}
+					at := maxGens
+					for _, h := range res.History {
+						if h.Best >= 64 {
+							at = h.Generation
+							found++
+							break
+						}
+					}
+					sum += at
+				}
+				pt.MeanGenerations = float64(sum) / float64(trials)
+				pt.SuccessRate = float64(found) / float64(trials)
+				grid = append(grid, pt)
+			}
+		}
+	}
+	best := grid[0]
+	for _, pt := range grid[1:] {
+		if pt.MeanGenerations < best.MeanGenerations {
+			best = pt
+		}
+	}
+	return grid, best, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"dstress/internal/workload"
+)
+
+// ValidationResult reports a margin-validation run.
+type ValidationResult struct {
+	TREFP float64
+	VDD   float64
+	TempC float64
+	// ByWorkload maps workload name to its measured mean CE count.
+	ByWorkload map[string]float64
+	// Clean is true when no workload produced any CE, UE or SDC.
+	Clean bool
+}
+
+// ValidateMargin reproduces the paper's validation step for the discovered
+// operating margins: after the viruses certify a marginal TREFP, real
+// memory-intensive workloads (the paper ran Rodinia, Parsec and Ligra for
+// three weeks) are executed at that point and must show no errors at all.
+// Each workload fills and exercises the target DIMM through the cache
+// hierarchy and is then measured over `runs` evaluation passes.
+func (f *Framework) ValidateMargin(workloads []workload.Workload,
+	trefp, vdd, tempC float64, accesses, runs int) (*ValidationResult, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("core: no workloads to validate with")
+	}
+	if accesses <= 0 || runs <= 0 {
+		return nil, fmt.Errorf("core: accesses=%d runs=%d", accesses, runs)
+	}
+	if err := f.Apply(OperatingPoint{TREFP: trefp, VDD: vdd, TempC: tempC}); err != nil {
+		return nil, err
+	}
+	res := &ValidationResult{
+		TREFP:      trefp,
+		VDD:        vdd,
+		TempC:      tempC,
+		ByWorkload: map[string]float64{},
+		Clean:      true,
+	}
+	ctl := f.Srv.MCU(f.MCU)
+	regionBytes := ctl.Device().Geometry().TotalBytes() / 2
+	for _, w := range workloads {
+		ctl.Device().Reset()
+		ctl.ResetStats()
+		// Warm the cache and row buffers up, then measure a steady-state
+		// epoch — otherwise compulsory misses would be extrapolated as the
+		// sustained access rate.
+		if err := w.Run(ctl, 0, regionBytes, accesses, f.RNG.Split()); err != nil {
+			return nil, err
+		}
+		ctl.ResetCounters()
+		if err := w.Run(ctl, 0, regionBytes, accesses, f.RNG.Split()); err != nil {
+			return nil, err
+		}
+		m, err := f.Measure()
+		if err != nil {
+			return nil, err
+		}
+		res.ByWorkload[w.Name()] = m.MeanCE
+		if m.MeanCE > 0 || m.UEFrac > 0 || m.MeanSDC > 0 {
+			res.Clean = false
+		}
+	}
+	return res, nil
+}

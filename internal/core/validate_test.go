@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"dstress/internal/bitvec"
+	"dstress/internal/ga"
+	"dstress/internal/workload"
+)
+
+func TestValidateMarginValidation(t *testing.T) {
+	f := testFramework(t, 60)
+	if _, err := f.ValidateMargin(nil, 0.5, RelaxedVDD, 50, 1000, 3); err == nil {
+		t.Fatal("empty workload list accepted")
+	}
+	if _, err := f.ValidateMargin(workload.All(), 0.5, RelaxedVDD, 50, 0, 3); err == nil {
+		t.Fatal("zero accesses accepted")
+	}
+}
+
+// TestMarginValidationCleanAtVirusMargin reproduces the paper's validation:
+// the margin certified by the worst-case virus holds for real workloads —
+// they show no errors at the virus's safe refresh period.
+func TestMarginValidationCleanAtVirusMargin(t *testing.T) {
+	f := testFramework(t, 61)
+	// The paper validates the margins detected by the *access* virus — the
+	// most pessimistic probe, which bounds any workload's hammering too.
+	rows := NewAccessRowsSpec(0x3333333333333333)
+	deploy := func() error {
+		if err := rows.Prepare(f); err != nil {
+			return err
+		}
+		all := bitvec.New(64)
+		for i := 0; i < 64; i++ {
+			all.Set(i, true)
+		}
+		return rows.Deploy(f, ga.NewBitGenome(all))
+	}
+	margin, err := f.MarginalTREFP(deploy, RelaxedVDD, 50, NoErrors, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin <= NominalTREFP {
+		t.Skipf("virus margin at the nominal floor (%.3f); nothing to validate", margin)
+	}
+	res, err := f.ValidateMargin(workload.All(), margin, RelaxedVDD, 50,
+		50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("validated margin %.3fs: %+v (clean=%v)", margin, res.ByWorkload, res.Clean)
+	if !res.Clean {
+		t.Fatalf("workloads produced errors at the virus-certified margin %.3fs: %v",
+			margin, res.ByWorkload)
+	}
+	if len(res.ByWorkload) != 3 {
+		t.Fatalf("expected 3 workloads, got %d", len(res.ByWorkload))
+	}
+}
+
+// TestMarginValidationCatchesUnsafePoint: at the fully relaxed point the
+// same workloads do produce errors — the validation is not vacuous.
+func TestMarginValidationCatchesUnsafePoint(t *testing.T) {
+	f := testFramework(t, 62)
+	res, err := f.ValidateMargin(workload.All(), MaxTREFP, RelaxedVDD, 60,
+		50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean {
+		t.Fatal("fully relaxed point validated as clean")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"dstress/internal/server"
+	"dstress/internal/workload"
+)
+
+// WorkloadCell is one point of the Fig 1b study: the CE count one workload
+// produced on one DIMM/rank.
+type WorkloadCell struct {
+	Workload string
+	MCU      int
+	Rank     int
+	MeanCE   float64
+}
+
+// WorkloadStudy runs each named workload on every DIMM of the server under
+// relaxed parameters (the paper's characterization setup: TREFP 2.283 s,
+// VDD 1.428 V, 50 °C, 2-hour runs) and reports the per-DIMM/rank CE counts
+// — the data behind the polar plot of Fig 1b.
+func (f *Framework) WorkloadStudy(names []string, regionBytes int64,
+	accesses int) ([]WorkloadCell, error) {
+	if err := f.Srv.SetAllRelaxed(MaxTREFP, RelaxedVDD); err != nil {
+		return nil, err
+	}
+	if err := f.Srv.SetTemperature(50); err != nil {
+		return nil, err
+	}
+	var cells []WorkloadCell
+	for _, name := range names {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for mcu := 0; mcu < server.NumMCUs; mcu++ {
+			ctl := f.Srv.MCU(mcu)
+			if regionBytes > ctl.Device().Geometry().TotalBytes() {
+				return nil, fmt.Errorf("core: region %d exceeds DIMM size",
+					regionBytes)
+			}
+			ctl.Device().Reset()
+			ctl.ResetStats()
+			// Warmup epoch, then a measured steady-state epoch.
+			if err := w.Run(ctl, 0, regionBytes, accesses, f.RNG.Split()); err != nil {
+				return nil, err
+			}
+			ctl.ResetCounters()
+			if err := w.Run(ctl, 0, regionBytes, accesses, f.RNG.Split()); err != nil {
+				return nil, err
+			}
+			res, err := f.Srv.Evaluate(mcu, f.Runs, f.RNG.Split())
+			if err != nil {
+				return nil, err
+			}
+			ranks := ctl.Device().Geometry().Ranks
+			for rank := 0; rank < ranks; rank++ {
+				cells = append(cells, WorkloadCell{
+					Workload: name,
+					MCU:      mcu,
+					Rank:     rank,
+					MeanCE:   res.CEByRank[rank],
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// DetectionFloor is the CE resolution of the averaged measurement: a cell
+// showing zero errors across the 10-run protocol is reported as "below
+// 0.05" rather than dividing by zero in the variation ratios.
+const DetectionFloor = 0.05
+
+// VariationFactors summarises a workload study: the maximum ratio between
+// two cells of the same DIMM/rank across workloads, and the maximum ratio
+// across DIMM/ranks for the same workload — the paper's "1000x across
+// workloads" and "633x across DIMMs" observations. Zero cells are floored
+// at the measurement's detection limit.
+func VariationFactors(cells []WorkloadCell) (acrossWorkloads, acrossDIMMs float64) {
+	floor := func(v float64) float64 {
+		if v < DetectionFloor {
+			return DetectionFloor
+		}
+		return v
+	}
+	byKey := map[[2]int][]float64{}
+	byWorkload := map[string][]float64{}
+	for _, c := range cells {
+		k := [2]int{c.MCU, c.Rank}
+		byKey[k] = append(byKey[k], floor(c.MeanCE))
+		byWorkload[c.Workload] = append(byWorkload[c.Workload], floor(c.MeanCE))
+	}
+	ratio := func(vs []float64) float64 {
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi / lo
+	}
+	for _, vs := range byKey {
+		if r := ratio(vs); r > acrossWorkloads {
+			acrossWorkloads = r
+		}
+	}
+	for _, vs := range byWorkload {
+		if r := ratio(vs); r > acrossDIMMs {
+			acrossDIMMs = r
+		}
+	}
+	return acrossWorkloads, acrossDIMMs
+}

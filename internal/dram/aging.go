@@ -1,0 +1,26 @@
+package dram
+
+import "fmt"
+
+// Age applies wear to the device: every weak cell's retention time is
+// multiplied by factor (0 < factor <= 1), and clusters degrade with it at
+// half strength (their failure onset is dominated by the defect structure,
+// not by cell wear). Calling Age repeatedly compounds.
+//
+// Retention degradation over a device's service life is the phenomenon the
+// paper's predictive-maintenance use case targets: a periodic virus scan
+// sees the degradation as a rising CE count long before nominal-parameter
+// operation is affected.
+func (d *Device) Age(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("dram: Age factor %v outside (0,1]", factor)
+	}
+	for i := range d.weak {
+		d.weak[i].Tau0 *= factor
+	}
+	clusterFactor := (1 + factor) / 2
+	for i := range d.clusters {
+		d.clusters[i].Tau0 *= clusterFactor
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package dram
+
+import (
+	"testing"
+
+	"dstress/internal/addrmap"
+)
+
+func testDevice(t testing.TB, seed uint64) *Device {
+	t.Helper()
+	d, err := NewDevice(DefaultConfig(64, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	bad := DefaultConfig(64, 1)
+	bad.WeakCellsPerRank = -1
+	if _, err := NewDevice(bad); err == nil {
+		t.Fatal("negative weak cells accepted")
+	}
+	bad = DefaultConfig(64, 1)
+	bad.ScrambledRowFrac = 1.5
+	if _, err := NewDevice(bad); err == nil {
+		t.Fatal("invalid scramble fraction accepted")
+	}
+	bad = DefaultConfig(64, 1)
+	bad.Physics.GainFactor = 0.5
+	if _, err := NewDevice(bad); err == nil {
+		t.Fatal("invalid physics accepted")
+	}
+}
+
+func TestDefectMapDeterministic(t *testing.T) {
+	a := testDevice(t, 7)
+	b := testDevice(t, 7)
+	if len(a.WeakCells()) != len(b.WeakCells()) {
+		t.Fatal("weak cell counts differ for same seed")
+	}
+	for i := range a.WeakCells() {
+		if a.WeakCells()[i] != b.WeakCells()[i] {
+			t.Fatalf("weak cell %d differs for same seed", i)
+		}
+	}
+	c := testDevice(t, 8)
+	same := 0
+	for i := range a.WeakCells() {
+		if i < len(c.WeakCells()) && a.WeakCells()[i] == c.WeakCells()[i] {
+			same++
+		}
+	}
+	if same == len(a.WeakCells()) {
+		t.Fatal("different seeds produced identical defect maps")
+	}
+}
+
+func TestWeakCellPopulation(t *testing.T) {
+	d := testDevice(t, 1)
+	cfg := d.Config()
+	want := cfg.WeakCellsPerRank * cfg.Geometry.Ranks
+	if len(d.WeakCells()) != want {
+		t.Fatalf("weak cells = %d, want %d", len(d.WeakCells()), want)
+	}
+	for _, w := range d.WeakCells() {
+		if w.Tau0 <= 0 {
+			t.Fatal("non-positive retention")
+		}
+		if w.Bit < 0 || w.Bit >= bitsPerWord {
+			t.Fatalf("bit %d out of range", w.Bit)
+		}
+		if w.WordCol < 0 || w.WordCol >= cfg.Geometry.WordsPerRow() {
+			t.Fatalf("column %d out of range", w.WordCol)
+		}
+		if w.VRT && (w.VRTMult < cfg.Physics.VRTLow || w.VRTMult > cfg.Physics.VRTHigh) {
+			t.Fatalf("VRT multiplier %v out of range", w.VRTMult)
+		}
+	}
+}
+
+func TestClusterPopulation(t *testing.T) {
+	d := testDevice(t, 2)
+	cfg := d.Config()
+	want := cfg.ClustersPerRank * cfg.Geometry.Ranks
+	if len(d.Clusters()) != want {
+		t.Fatalf("clusters = %d, want %d", len(d.Clusters()), want)
+	}
+	for _, c := range d.Clusters() {
+		if len(c.Bits) != len(ClusterBitPositions) {
+			t.Fatalf("cluster has %d bits", len(c.Bits))
+		}
+		for i, b := range c.Bits {
+			if b != ClusterBitPositions[i] {
+				t.Fatalf("cluster bits %v", c.Bits)
+			}
+		}
+	}
+}
+
+func TestReadWriteWord(t *testing.T) {
+	d := testDevice(t, 3)
+	l := addrmap.Loc{Rank: 1, Bank: 3, Row: 10, Col: 99}
+	if _, ok := d.ReadWord(l); ok {
+		t.Fatal("unwritten row reported as written")
+	}
+	d.WriteWord(l, 0xABCD)
+	v, ok := d.ReadWord(l)
+	if !ok || v != 0xABCD {
+		t.Fatalf("read back %x ok=%v", v, ok)
+	}
+	// Other columns of the row become written (zero).
+	v, ok = d.ReadWord(addrmap.Loc{Rank: 1, Bank: 3, Row: 10, Col: 0})
+	if !ok || v != 0 {
+		t.Fatal("row image not materialized")
+	}
+	d.Reset()
+	if _, ok := d.ReadWord(l); ok {
+		t.Fatal("Reset did not clear data")
+	}
+}
+
+func TestScrambleMaskProperties(t *testing.T) {
+	d := testDevice(t, 4)
+	cfg := d.Config()
+	scrambled, total := 0, 0
+	for bank := 0; bank < cfg.Geometry.Banks; bank++ {
+		for row := 0; row < cfg.Geometry.Rows; row++ {
+			k := RowKey{Rank: 0, Bank: int32(bank), Row: int32(row)}
+			m := d.ScrambleMask(k)
+			if m != 0 && m != 2 && m != 3 {
+				t.Fatalf("unexpected mask %d", m)
+			}
+			if m != 0 {
+				scrambled++
+			}
+			total++
+			// Deterministic per row.
+			if d.ScrambleMask(k) != m {
+				t.Fatal("mask not stable")
+			}
+		}
+	}
+	frac := float64(scrambled) / float64(total)
+	if frac < cfg.ScrambledRowFrac/2 || frac > cfg.ScrambledRowFrac*2 {
+		t.Fatalf("scrambled fraction %v, configured %v", frac, cfg.ScrambledRowFrac)
+	}
+}
+
+func TestCellTypeLayout(t *testing.T) {
+	d := testDevice(t, 5)
+	// Find an unflipped row.
+	var k RowKey
+	found := false
+	for row := 0; row < 64 && !found; row++ {
+		k = RowKey{Rank: 0, Bank: 0, Row: int32(row)}
+		if !d.PhaseFlipped(k) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no unflipped row in 64 rows")
+	}
+	want := []CellType{TrueCell, TrueCell, AntiCell, AntiCell}
+	for p := 0; p < 16; p++ {
+		if got := d.CellTypeAt(k, p); got != want[p%4] {
+			t.Fatalf("pos %d type %v, want %v", p, got, want[p%4])
+		}
+	}
+}
+
+func TestPhaseFlippedLayout(t *testing.T) {
+	d := testDevice(t, 5)
+	var k RowKey
+	found := false
+	for bank := 0; bank < 8 && !found; bank++ {
+		for row := 0; row < 64 && !found; row++ {
+			k = RowKey{Rank: 0, Bank: int32(bank), Row: int32(row)}
+			if d.PhaseFlipped(k) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("no phase-flipped row in sample")
+	}
+	if d.CellTypeAt(k, 0) != AntiCell || d.CellTypeAt(k, 2) != TrueCell {
+		t.Fatal("phase-flipped layout does not start with anti-cells")
+	}
+}
+
+func TestChargeAllWordUnscrambled(t *testing.T) {
+	d := testDevice(t, 6)
+	for row := 0; row < 64; row++ {
+		k := RowKey{Rank: 0, Bank: 0, Row: int32(row)}
+		if d.ScrambleMask(k) != 0 || d.PhaseFlipped(k) {
+			continue
+		}
+		if w := d.ChargeAllWord(k); w != 0x3333333333333333 {
+			t.Fatalf("charge-all word %x, want 0x3333... (repeating 1100)", w)
+		}
+		return
+	}
+	t.Fatal("no plain row found")
+}
+
+func TestChargeAllWordScrambled(t *testing.T) {
+	d := testDevice(t, 6)
+	cfg := d.Config()
+	for bank := 0; bank < cfg.Geometry.Banks; bank++ {
+		for row := 0; row < cfg.Geometry.Rows; row++ {
+			k := RowKey{Rank: 0, Bank: int32(bank), Row: int32(row)}
+			if d.ScrambleMask(k) == 2 && !d.PhaseFlipped(k) {
+				if w := d.ChargeAllWord(k); w != 0xCCCCCCCCCCCCCCCC {
+					t.Fatalf("mask-2 charge-all word %x, want 0xCCCC...", w)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no mask-2 row found")
+}
+
+func TestChargeDischargeComplement(t *testing.T) {
+	d := testDevice(t, 7)
+	for row := 0; row < 20; row++ {
+		k := RowKey{Rank: 1, Bank: 2, Row: int32(row)}
+		if d.ChargeAllWord(k) != ^d.DischargeAllWord(k) {
+			t.Fatal("discharge word is not the complement")
+		}
+	}
+}
+
+func TestClusterFireWordBits(t *testing.T) {
+	d := testDevice(t, 8)
+	k := RowKey{Rank: 0, Bank: 0, Row: 5}
+	w := d.ClusterFireWord(k)
+	for _, b := range ClusterBitPositions {
+		if w&(1<<uint(b)) != 0 {
+			t.Fatalf("cluster bit %d not zero in fire word %x", b, w)
+		}
+	}
+}
+
+func TestWeakRowsSortedAndComplete(t *testing.T) {
+	d := testDevice(t, 9)
+	rows := d.WeakRows()
+	if len(rows) == 0 {
+		t.Fatal("no weak rows")
+	}
+	seen := map[RowKey]bool{}
+	for i, k := range rows {
+		if seen[k] {
+			t.Fatal("duplicate weak row")
+		}
+		seen[k] = true
+		if i > 0 {
+			p := rows[i-1]
+			if p.Rank > k.Rank ||
+				(p.Rank == k.Rank && p.Bank > k.Bank) ||
+				(p.Rank == k.Rank && p.Bank == k.Bank && p.Row >= k.Row) {
+				t.Fatal("weak rows not sorted")
+			}
+		}
+	}
+	for _, w := range d.WeakCells() {
+		if !seen[w.Key] {
+			t.Fatal("weak cell's row missing from WeakRows")
+		}
+	}
+	for _, c := range d.Clusters() {
+		if !seen[c.Key] {
+			t.Fatal("cluster's row missing from WeakRows")
+		}
+	}
+}
+
+func TestRemapInvolution(t *testing.T) {
+	d := testDevice(t, 10)
+	g := d.Geometry()
+	for bank := int32(0); bank < int32(g.Banks); bank++ {
+		for col := 0; col < g.WordsPerRow(); col++ {
+			p := d.physWordCol(bank, col)
+			if d.physWordCol(bank, p) != col {
+				t.Fatalf("remap not an involution at bank %d col %d", bank, col)
+			}
+		}
+	}
+}
+
+func TestKeyLocRoundTrip(t *testing.T) {
+	l := addrmap.Loc{Rank: 1, Bank: 5, Row: 33}
+	if Key(l).Loc() != l {
+		t.Fatal("Key/Loc round trip failed")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	d := testDevice(t, 11)
+	if s := d.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	if TrueCell.String() != "true-cell" || AntiCell.String() != "anti-cell" {
+		t.Fatal("CellType strings wrong")
+	}
+}
+
+func TestMustNewDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewDevice did not panic on bad config")
+		}
+	}()
+	bad := DefaultConfig(64, 1)
+	bad.ClustersPerRank = -1
+	MustNewDevice(bad)
+}
+
+func TestStrengthScaleShiftsRetention(t *testing.T) {
+	weakCfg := DefaultConfig(64, 42)
+	strongCfg := weakCfg
+	strongCfg.StrengthScale = 10
+	weak := MustNewDevice(weakCfg)
+	strong := MustNewDevice(strongCfg)
+	for i := range weak.WeakCells() {
+		ratio := strong.WeakCells()[i].Tau0 / weak.WeakCells()[i].Tau0
+		if ratio < 9.99 || ratio > 10.01 {
+			t.Fatalf("strength scale not applied: ratio %v", ratio)
+		}
+	}
+}

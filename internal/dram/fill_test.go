@@ -1,0 +1,70 @@
+package dram
+
+import (
+	"testing"
+
+	"dstress/internal/addrmap"
+)
+
+func TestFillRowMatchesWriteWord(t *testing.T) {
+	a := testDevice(t, 50)
+	b := testDevice(t, 50)
+	k := RowKey{Rank: 0, Bank: 2, Row: 7}
+	a.FillRow(k, 0x3333333333333333)
+	for col := 0; col < b.Geometry().WordsPerRow(); col++ {
+		b.WriteWord(addrmap.Loc{Bank: 2, Row: 7, Col: col}, 0x3333333333333333)
+	}
+	ia, ib := a.RowImage(k), b.RowImage(k)
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("col %d: %x vs %x", i, ia[i], ib[i])
+		}
+	}
+}
+
+func TestFillRowWordsTiles(t *testing.T) {
+	d := testDevice(t, 51)
+	k := RowKey{Rank: 1, Bank: 0, Row: 3}
+	d.FillRowWords(k, []uint64{1, 2, 3})
+	img := d.RowImage(k)
+	for i, w := range img {
+		if w != uint64(i%3+1) {
+			t.Fatalf("col %d = %d", i, w)
+		}
+	}
+	// Empty input is a no-op.
+	d.FillRowWords(RowKey{Rank: 1, Bank: 1, Row: 3}, nil)
+	if d.RowWritten(RowKey{Rank: 1, Bank: 1, Row: 3}) {
+		t.Fatal("empty fill materialized a row")
+	}
+}
+
+func TestFillAllUniformCoversDevice(t *testing.T) {
+	d := testDevice(t, 52)
+	d.FillAllUniform(0xCC)
+	g := d.Geometry()
+	for rank := 0; rank < g.Ranks; rank++ {
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < g.Rows; row++ {
+				k := RowKey{int32(rank), int32(bank), int32(row)}
+				if !d.RowWritten(k) {
+					t.Fatalf("row %+v unwritten", k)
+				}
+				if d.RowImage(k)[0] != 0xCC {
+					t.Fatalf("row %+v wrong data", k)
+				}
+			}
+		}
+	}
+}
+
+func TestFillAllPerRow(t *testing.T) {
+	d := testDevice(t, 53)
+	d.FillAll(d.ChargeAllWord)
+	// Every weak row now holds its charge-all word.
+	for _, k := range d.WeakRows() {
+		if d.RowImage(k)[5] != d.ChargeAllWord(k) {
+			t.Fatalf("row %+v not charge-all", k)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physics holds the constants of the retention model. A weak cell's
+// effective retention time under given operating conditions is
+//
+//	τ_eff = τ₀ · strength · 2^(-(T-T_ref)/TempHalvingC) · (VDD/VDDNominal)^VDDExp
+//	        · vrt / (1 + CouplingAlpha·lateralCharged + VCouplingDelta·verticalDischarged)
+//	        / (1 + HammerBeta·adjacentActivationsPerWindow)
+//
+// A *charged* cell (true-cell storing 1 or anti-cell storing 0) fails —
+// flips its stored bit — when τ_eff < TREFP. A discharged cell can only
+// fail through the much slower charge-gain mechanism: it fails when
+// τ_eff · GainFactor < TREFP.
+//
+// Two distinct data-dependent coupling mechanisms are modelled:
+//
+//   - lateral (same row, physically adjacent columns): a *charged*
+//     neighbour raises leakage through bitline/wordline crosstalk, so a
+//     fully charged row is the intra-row worst case;
+//   - vertical (same column, physically adjacent rows): a *discharged*
+//     neighbour raises leakage — the potential difference between adjacent
+//     storage nodes drives node-to-node leakage. This is what makes a
+//     tailored multi-row pattern (charged victim row between discharged
+//     aggressor rows) stronger than any uniform fill, i.e. the paper's
+//     24-KByte result.
+//
+// These dependencies are the published ones: retention roughly halves every
+// ~10 °C [Hamamoto'98], scales with supply voltage [Chang'17], depends on
+// the stored data and neighbouring data [Khan'14, Liu'13], fluctuates
+// run-to-run due to VRT [Restle'92], and degrades with activations of
+// physically adjacent rows [Kim'14].
+type Physics struct {
+	VDDNominal float64 // nominal supply voltage (1.5 V for DDR3)
+	TRefC      float64 // reference temperature for τ₀ (°C)
+
+	// Weak-cell τ₀ follows TauFloor + LogNormal(RetMu, RetSigma): even the
+	// weakest cells retain for TauFloor seconds at the reference
+	// conditions, which is what gives DRAM a usable guardband between the
+	// nominal refresh period and the failure onset (the Fig 14 margins).
+	TauFloor float64
+	RetMu    float64
+	RetSigma float64
+
+	TempHalvingC   float64 // °C of temperature rise that halves retention
+	VDDExp         float64 // retention ∝ (VDD/nominal)^VDDExp
+	CouplingAlpha  float64 // leakage boost per charged lateral neighbour
+	VCouplingDelta float64 // leakage boost per discharged vertical neighbour
+	GainFactor     float64 // charge-gain retention multiplier (≫1)
+
+	VRTProb float64 // probability a weak cell is VRT-active
+	VRTLow  float64 // min retention multiplier of the alternate VRT state
+	VRTHigh float64 // max retention multiplier of the alternate VRT state
+
+	HammerBeta float64 // disturbance per adjacent-row activation per window
+
+	// Cluster (multi-bit defect) parameters. Cluster cells share one τ₀ and
+	// a strong intra-cluster coupling: the cluster can only fail below its
+	// standalone onset temperature when every cell is charged *and* the
+	// lateral neighbours of the cluster are charged too. That combination
+	// is reachable by a synthesized data pattern but not by the simple
+	// micro-benchmark fills, reproducing the paper's observation that
+	// MSCAN-style tests only reveal UEs at 70 °C while DStress finds UE
+	// patterns at 62 °C.
+	ClusterTau0     float64 // seconds at TRefC, nominal VDD
+	ClusterAlpha    float64 // intra-cluster coupling per charged sibling
+	ClusterExtAlpha float64 // coupling per charged lateral neighbour of the cluster
+	ClusterJitter   float64 // per-run log-normal sigma on cluster τ
+	ClusterHammerB  float64 // hammer sensitivity of cluster cells
+	// ClusterPartialBand widens the failure threshold for *partial*
+	// failures: when TREFP <= τ_eff < TREFP·ClusterPartialBand, only the
+	// cluster's weakest member leaks — a single-bit (correctable) error.
+	// Near-threshold clusters therefore announce themselves through CEs
+	// before the full multi-bit failure point is reached.
+	ClusterPartialBand float64
+}
+
+// DefaultPhysics returns the calibrated constants. See the calibration test
+// in run_test.go for the targets these were tuned against.
+func DefaultPhysics() Physics {
+	return Physics{
+		VDDNominal: 1.5,
+		TRefC:      50,
+		// Weak cells retain for at least ~3.5 s at 50 °C, with a log-normal
+		// spread above the floor (median ~10 s): at the relaxed 2.283 s
+		// refresh period a meaningful fraction fails, growing quickly with
+		// temperature, while the nominal 64 ms period keeps a wide margin.
+		TauFloor:       3.5,
+		RetMu:          math.Log(6.75),
+		RetSigma:       1.1,
+		TempHalvingC:   9.0,
+		VDDExp:         3.0,
+		CouplingAlpha:  0.28,
+		VCouplingDelta: 0.22,
+		GainFactor:     2.2,
+		VRTProb:        0.30,
+		VRTLow:         0.45,
+		VRTHigh:        2.2,
+		HammerBeta:     1.5e-5,
+
+		// Calibrated so that, at the relaxed TREFP/VDD operating point, a
+		// fully-charged cluster with fully-charged neighbours fails from
+		// 62 °C, a fully-charged cluster under the all-0s fill (2 charged
+		// neighbours) fails only from ~68 °C, and nothing fails at 60 °C.
+		ClusterTau0:        27.0,
+		ClusterAlpha:       0.334,
+		ClusterExtAlpha:    0.55,
+		ClusterJitter:      0.005,
+		ClusterHammerB:     2e-5,
+		ClusterPartialBand: 1.08,
+	}
+}
+
+// Validate reports whether the constants are usable.
+func (p Physics) Validate() error {
+	switch {
+	case p.VDDNominal <= 0:
+		return fmt.Errorf("dram: VDDNominal = %v", p.VDDNominal)
+	case p.RetSigma <= 0:
+		return fmt.Errorf("dram: RetSigma = %v", p.RetSigma)
+	case p.TempHalvingC <= 0:
+		return fmt.Errorf("dram: TempHalvingC = %v", p.TempHalvingC)
+	case p.GainFactor < 1:
+		return fmt.Errorf("dram: GainFactor = %v", p.GainFactor)
+	case p.TauFloor < 0:
+		return fmt.Errorf("dram: TauFloor = %v", p.TauFloor)
+	case p.VRTProb < 0 || p.VRTProb > 1:
+		return fmt.Errorf("dram: VRTProb = %v", p.VRTProb)
+	case p.VRTLow <= 0 || p.VRTHigh < p.VRTLow:
+		return fmt.Errorf("dram: VRT range [%v,%v]", p.VRTLow, p.VRTHigh)
+	case p.ClusterTau0 <= 0:
+		return fmt.Errorf("dram: ClusterTau0 = %v", p.ClusterTau0)
+	}
+	return nil
+}
+
+// tempFactor returns the retention multiplier at temperature tC.
+func (p Physics) tempFactor(tC float64) float64 {
+	return math.Exp2(-(tC - p.TRefC) / p.TempHalvingC)
+}
+
+// vddFactor returns the retention multiplier at supply voltage vdd.
+func (p Physics) vddFactor(vdd float64) float64 {
+	return math.Pow(vdd/p.VDDNominal, p.VDDExp)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dstress/internal/core"
+	"dstress/internal/ga"
+	"dstress/internal/server"
+	"dstress/internal/xrand"
+)
+
+// Config scales the experimental campaign. The defaults regenerate every
+// figure on a reduced device in a couple of minutes; larger values sharpen
+// the statistics at proportional cost.
+type Config struct {
+	// RowsPerBank sizes the simulated DIMMs (paper hardware: 2^17; the
+	// reduced device keeps the full bank/rank structure).
+	RowsPerBank int
+	// Seed makes the whole campaign reproducible.
+	Seed uint64
+	// Runs is the per-virus measurement averaging count (paper: 10).
+	Runs int
+	// SearchGens bounds the GA searches (the paper's two-week budget
+	// reached ~80 generations).
+	SearchGens int
+	// BlockGens bounds the large-chromosome searches (24-KByte/512-KByte).
+	BlockGens int
+	// RandomSamples sizes the Fig 13 distributions.
+	RandomSamples int
+	// MarginGrid is the TREFP grid resolution of Fig 14.
+	MarginGrid int
+}
+
+// DefaultConfig returns the standard reduced-scale campaign.
+func DefaultConfig() Config {
+	return Config{
+		RowsPerBank:   16,
+		Seed:          2020,
+		Runs:          10,
+		SearchGens:    120,
+		BlockGens:     60,
+		RandomSamples: 300,
+		MarginGrid:    12,
+	}
+}
+
+// QuickConfig returns a configuration small enough for unit tests and
+// benchmark iterations.
+func QuickConfig() Config {
+	return Config{
+		RowsPerBank:   16,
+		Seed:          2020,
+		Runs:          8,
+		SearchGens:    80,
+		BlockGens:     20,
+		RandomSamples: 60,
+		MarginGrid:    8,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.RowsPerBank <= 0:
+		return fmt.Errorf("experiments: RowsPerBank = %d", c.RowsPerBank)
+	case c.Runs <= 0:
+		return fmt.Errorf("experiments: Runs = %d", c.Runs)
+	case c.SearchGens <= 0 || c.BlockGens <= 0:
+		return fmt.Errorf("experiments: generation budgets must be positive")
+	case c.RandomSamples < 20:
+		return fmt.Errorf("experiments: RandomSamples = %d (need >= 20)",
+			c.RandomSamples)
+	case c.MarginGrid < 2:
+		return fmt.Errorf("experiments: MarginGrid = %d", c.MarginGrid)
+	}
+	return nil
+}
+
+// Engine runs the campaign, carrying discovered viruses between
+// experiments.
+type Engine struct {
+	Cfg Config
+	F   *core.Framework
+
+	// Discovered patterns, filled in as experiments run. Standalone
+	// experiment invocations fall back to the canonical worst/best words
+	// (the charge-all and discharge-all patterns the searches converge to).
+	WorstWord  uint64
+	BestWord   uint64
+	Worst64CE  float64 // CE count of the worst 64-bit virus at 60°C
+	Best24KCE  float64 // CE count of the best 24-KByte virus at 60°C
+	AccessT1CE float64 // CE count of the row-access virus at 60°C
+	Fig8aBest  float64 // GA best fitness at 55°C (for Fig 13)
+	fig8aPop   []ga.Genome
+	accessBest ga.Genome
+	coeffsBest ga.Genome
+	data24Best ga.Genome
+	reports    []*Report
+}
+
+// NewEngine builds the experimental platform.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.DefaultConfig(cfg.RowsPerBank, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.New(srv, xrand.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	f.Runs = cfg.Runs
+	return &Engine{
+		Cfg:       cfg,
+		F:         f,
+		WorstWord: 0x3333333333333333,
+		BestWord:  0xCCCCCCCCCCCCCCCC,
+	}, nil
+}
+
+// Reports returns the accumulated reports in execution order.
+func (e *Engine) Reports() []*Report { return e.reports }
+
+func (e *Engine) add(r *Report) *Report {
+	e.reports = append(e.reports, r)
+	return r
+}
+
+// gaParams builds the paper's GA configuration with this campaign's budget.
+func (e *Engine) gaParams(maxGens int) ga.Params {
+	p := ga.DefaultParams()
+	p.MaxGenerations = maxGens
+	return p
+}
+
+// RunAll executes the full campaign in the paper's order.
+func (e *Engine) RunAll() error {
+	steps := []func() (*Report, error){
+		e.Fig01bWorkloadVariation,
+		e.GAParameterTuning,
+		e.Fig08aWorst64Bit,
+		e.Fig08bTemperatureInvariance,
+		e.Fig08cBest64Bit,
+		e.Fig08dUEPatterns,
+		e.Fig08eMicrobenchComparison,
+		e.Fig09Worst24KB,
+		e.Fig10Worst512KB,
+		e.Fig11AccessTemplate1,
+		e.Fig12AccessTemplate2,
+		e.Fig13aDataPatternPDF,
+		e.Fig13bAccessPatternPDF,
+		e.Fig14MarginalTREFP,
+	}
+	for _, step := range steps {
+		if _, err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

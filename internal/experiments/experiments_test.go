@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mods := []func(*Config){
+		func(c *Config) { c.RowsPerBank = 0 },
+		func(c *Config) { c.Runs = 0 },
+		func(c *Config) { c.SearchGens = 0 },
+		func(c *Config) { c.BlockGens = 0 },
+		func(c *Config) { c.RandomSamples = 5 },
+		func(c *Config) { c.MarginGrid = 1 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	bad := DefaultConfig()
+	bad.RowsPerBank = -1
+	if _, err := NewEngine(bad); err == nil {
+		t.Fatal("NewEngine accepted bad config")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := newReport("figX", "test report")
+	r.rowf("row %d", 1)
+	r.notef("note %s", "a")
+	r.Metrics["m"] = 3.5
+	s := r.String()
+	for _, want := range []string{"figX", "test report", "row 1", "note: note a", "m:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	if r.Metric("m") != 3.5 || r.Metric("missing") != 0 {
+		t.Fatal("Metric accessor wrong")
+	}
+}
+
+// TestFullCampaign runs every experiment end-to-end at the quick scale and
+// checks the paper-shape assertions that hold even at reduced budgets.
+func TestFullCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign is long; run without -short")
+	}
+	e, err := NewEngine(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	reports := e.Reports()
+	if len(reports) != 14 {
+		t.Fatalf("campaign produced %d reports, want 14", len(reports))
+	}
+	byID := map[string]*Report{}
+	for _, r := range reports {
+		byID[r.ID] = r
+		t.Logf("\n%s", r)
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no rows", r.ID)
+		}
+	}
+
+	// Fig 1b: orders-of-magnitude variation.
+	if v := byID["fig1b"].Metric("variation_across_workloads"); v < 3 {
+		t.Errorf("fig1b workload variation %.1fx", v)
+	}
+	// Fig 8a: worst pattern near 1100-repeating.
+	if v := byID["fig8a"].Metric("similarity_to_1100"); v < 0.6 {
+		t.Errorf("fig8a similarity %.2f", v)
+	}
+	// Fig 8b: temperature invariance.
+	if v := byID["fig8b"].Metric("similarity_best_55_vs_60"); v < 0.6 {
+		t.Errorf("fig8b invariance %.2f", v)
+	}
+	// Fig 8c: wide worst/best gap.
+	if v := byID["fig8c"].Metric("worst_over_best"); v < 3 {
+		t.Errorf("fig8c ratio %.1fx", v)
+	}
+	// Fig 8d: UE virus fires; CE and UE patterns differ.
+	if v := byID["fig8d"].Metric("best_ue_frac"); v < 0.9 {
+		t.Errorf("fig8d UE frac %.2f", v)
+	}
+	if v := byID["fig8d"].Metric("bits17_18_21_22_zero_frac"); v < 0.9 {
+		t.Errorf("fig8d zero-bits fraction %.2f", v)
+	}
+	// Fig 8e: virus beats every baseline.
+	if v := byID["fig8e"].Metric("virus_margin_over_baseline"); v < 0.2 {
+		t.Errorf("fig8e margin %.2f", v)
+	}
+	// Fig 9: ideal block pattern gains over the uniform fill.
+	if v := byID["fig9"].Metric("ideal_gain_over_uniform"); v < 0.05 {
+		t.Errorf("fig9 ideal gain %.2f", v)
+	}
+	// Fig 10: 512-KByte pattern does not beat the 24-KByte pattern by a
+	// meaningful margin.
+	if v := byID["fig10"].Metric("gain_over_24k"); v > 0.10 {
+		t.Errorf("fig10 gain over 24K %.2f — should be ~0", v)
+	}
+	// Fig 11: access virus above the data-only reference.
+	if v := byID["fig11"].Metric("gain_over_data"); v < 0.15 {
+		t.Errorf("fig11 gain %.2f", v)
+	}
+	// Fig 12: below template 1.
+	if v := byID["fig12"].Metric("vs_template1"); v >= 0 {
+		t.Errorf("fig12 not below template 1: %+.2f", v)
+	}
+	// Fig 13a: 24-KByte discovery probability must dwarf the 64-bit one.
+	p64 := byID["fig13a"].Metric("d64_p_found_worst")
+	p24s := byID["fig13a"].Metric("d24_p_stronger_exists")
+	if p64 < 0.5 {
+		t.Errorf("fig13a 64-bit P(found worst) %.3f", p64)
+	}
+	if p24s > 0.05 {
+		t.Errorf("fig13a 24K P(stronger exists) %.3f — paper: 4e-7", p24s)
+	}
+	// Fig 13b: access-pattern confidence positive but below the 24K one.
+	if v := byID["fig13b"].Metric("p_found_worst"); v < 0.3 {
+		t.Errorf("fig13b P(found worst) %.3f", v)
+	}
+	// Fig 14: margins shrink with temperature for the data virus; savings
+	// in the paper's ballpark.
+	f14 := byID["fig14"]
+	if f14.Metric("margin_64_bit_data_50C") < f14.Metric("margin_64_bit_data_70C") {
+		t.Error("fig14 margins do not shrink with temperature")
+	}
+	if f14.Metric("margin_access_50C") > f14.Metric("margin_64_bit_data_50C") {
+		t.Error("fig14 access margin above data margin")
+	}
+	if v := f14.Metric("dram_savings"); v < 0.08 || v > 0.30 {
+		t.Errorf("fig14 DRAM savings %.1f%%", v*100)
+	}
+	if f14.Metric("validation_clean") != 1 {
+		t.Error("fig14 workloads produced errors at the virus-certified margin")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+// TestExtensions runs the Section-VI extension experiments at the quick
+// scale and checks their headline shapes.
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions are long; run without -short")
+	}
+	e, err := NewEngine(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunExtensions(); err != nil {
+		t.Fatal(err)
+	}
+	reports := e.Reports()
+	if len(reports) != 5 {
+		t.Fatalf("extensions produced %d reports, want 5", len(reports))
+	}
+	byID := map[string]*Report{}
+	for _, r := range reports {
+		byID[r.ID] = r
+		t.Logf("\n%s", r)
+	}
+
+	// March: back-to-back finds nothing; the virus scan finds the most.
+	m := byID["ext-march"]
+	if m.Metric("march_plain_rows") != 0 {
+		t.Error("back-to-back March detected retention faults")
+	}
+	if m.Metric("virus_rows") <= m.Metric("march_aware_rows") {
+		t.Error("virus scan did not beat retention-aware March")
+	}
+
+	// Rowhammer: the clflush attack beats the cached virus.
+	rh := byID["ext-rowhammer"]
+	if rh.Metric("clflush_gain") <= 0 {
+		t.Errorf("clflush gain %.2f not positive", rh.Metric("clflush_gain"))
+	}
+
+	// Profiling: MSCAN coverage below 100%.
+	pr := byID["ext-profiling"]
+	if pr.Metric("mscan_coverage") >= 1 {
+		t.Error("MSCAN profiling missed nothing")
+	}
+	if pr.Metric("virus_rows") <= pr.Metric("mscan_rows") {
+		t.Error("virus profile not larger than MSCAN profile")
+	}
+
+	// Refresh plans: the virus-profiled plan is safe, the MSCAN one leaks.
+	rp := byID["ext-refresh"]
+	if rp.Metric("virus_plan_ce") > 0.5 {
+		t.Errorf("virus-profiled refresh plan leaks %.2f CEs",
+			rp.Metric("virus_plan_ce"))
+	}
+	if rp.Metric("MSCAN_plan_ce") <= rp.Metric("virus_plan_ce") {
+		t.Error("MSCAN-profiled plan not worse than the virus-profiled one")
+	}
+	if rp.Metric("virus_refresh_savings") < 0.5 {
+		t.Errorf("refresh savings only %.1f%%",
+			rp.Metric("virus_refresh_savings")*100)
+	}
+
+	// Maintenance: the degrading DIMM is flagged before the last scan.
+	mt := byID["ext-maintenance"]
+	if at := mt.Metric("flagged_at_scan"); at < 1 || at > 5 {
+		t.Errorf("degrading DIMM flagged at scan %.0f", at)
+	}
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"dstress/internal/bitvec"
+	"dstress/internal/core"
+	"dstress/internal/ga"
+	"dstress/internal/power"
+	"dstress/internal/workload"
+)
+
+// Fig13aDataPatternPDF regenerates Fig 13a: the distribution of CE counts
+// over randomized data patterns, its normality test, and the probability
+// that DStress found the worst case — for both the 64-bit and the
+// 24-KByte searches.
+func (e *Engine) Fig13aDataPatternPDF() (*Report, error) {
+	r := newReport("fig13a", "random data-pattern CE distribution (60°C)")
+
+	// Reference fitness of the discovered patterns at 60°C.
+	if err := e.F.Apply(core.Relaxed(60)); err != nil {
+		return nil, err
+	}
+	worst64, err := e.F.MeasureWord(e.WorstWord)
+	if err != nil {
+		return nil, err
+	}
+	study64, err := e.F.RandomPatternStudy(core.Data64Spec{}, core.MaxCE,
+		core.Relaxed(60), e.Cfg.RandomSamples, worst64.MeanCE)
+	if err != nil {
+		return nil, err
+	}
+	centers, counts, err := study64.PDF(10)
+	if err != nil {
+		return nil, err
+	}
+	for i := range centers {
+		r.rowf("64-bit  bin %5.1f CEs: %s", centers[i], bar(counts[i]))
+	}
+	r.Metrics["d64_mean"] = study64.Summary.Mean
+	r.Metrics["d64_sigma"] = study64.Summary.StdDev
+	r.Metrics["d64_normal"] = boolMetric(study64.Normality.IsNormal(0.05))
+	r.Metrics["d64_p_found_worst"] = study64.PFoundWorst
+	r.rowf("64-bit: normal (p=%.3f); GA best %.1f; P(found worst) = %.4f",
+		study64.Normality.PValue, worst64.MeanCE, study64.PFoundWorst)
+
+	// 24-KByte: vastly larger space, much lower random mean relative to
+	// the discovered pattern — the paper's 1-4e-7 result.
+	spec24 := core.NewData24KSpec()
+	ideal24 := e.Best24KCE
+	if ideal24 == 0 {
+		if err := e.F.Apply(core.Relaxed(60)); err != nil {
+			return nil, err
+		}
+		if err := spec24.Prepare(e.F); err != nil {
+			return nil, err
+		}
+		if err := spec24.Deploy(e.F, e.idealBlockGenome(spec24)); err != nil {
+			return nil, err
+		}
+		m, err := e.F.Measure()
+		if err != nil {
+			return nil, err
+		}
+		ideal24 = m.MeanCE
+	}
+	study24, err := e.F.RandomPatternStudy(spec24, core.MaxCE,
+		core.Relaxed(60), e.Cfg.RandomSamples, ideal24)
+	if err != nil {
+		return nil, err
+	}
+	r.Metrics["d24_mean"] = study24.Summary.Mean
+	r.Metrics["d24_sigma"] = study24.Summary.StdDev
+	r.Metrics["d24_p_found_worst"] = study24.PFoundWorst
+	r.Metrics["d24_p_stronger_exists"] = study24.PStrongerExists
+	r.rowf("24-KByte: random mean %.1f σ %.1f; discovered %.1f; P(stronger exists) = %.2e",
+		study24.Summary.Mean, study24.Summary.StdDev, ideal24,
+		study24.PStrongerExists)
+	r.notef("paper: P(found worst) = 0.97 (64-bit) and 1-4e-7 (24-KByte); distribution passes D'Agostino-Pearson")
+	return e.add(r), nil
+}
+
+// Fig13bAccessPatternPDF regenerates Fig 13b: the random access-pattern
+// distribution and the 0.95 discovery probability.
+func (e *Engine) Fig13bAccessPatternPDF() (*Report, error) {
+	r := newReport("fig13b", "random access-pattern CE distribution (60°C)")
+	spec := core.NewAccessRowsSpec(e.WorstWord)
+	gaBest := e.AccessT1CE
+	if gaBest == 0 {
+		// Standalone invocation: measure the all-rows access virus.
+		if err := e.F.Apply(core.Relaxed(60)); err != nil {
+			return nil, err
+		}
+		if err := spec.Prepare(e.F); err != nil {
+			return nil, err
+		}
+		all := bitvec.New(64)
+		for i := 0; i < 64; i++ {
+			all.Set(i, true)
+		}
+		if err := spec.Deploy(e.F, ga.NewBitGenome(all)); err != nil {
+			return nil, err
+		}
+		m, err := e.F.Measure()
+		if err != nil {
+			return nil, err
+		}
+		gaBest = m.MeanCE
+	}
+	study, err := e.F.RandomPatternStudy(spec, core.MaxCE, core.Relaxed(60),
+		e.Cfg.RandomSamples, gaBest)
+	if err != nil {
+		return nil, err
+	}
+	centers, counts, err := study.PDF(10)
+	if err != nil {
+		return nil, err
+	}
+	for i := range centers {
+		r.rowf("access  bin %5.1f CEs: %s", centers[i], bar(counts[i]))
+	}
+	r.Metrics["mean"] = study.Summary.Mean
+	r.Metrics["sigma"] = study.Summary.StdDev
+	r.Metrics["p_found_worst"] = study.PFoundWorst
+	r.rowf("access: random mean %.1f σ %.1f; GA best %.1f; P(found worst) = %.3f",
+		study.Summary.Mean, study.Summary.StdDev, gaBest, study.PFoundWorst)
+	r.notef("paper: P(found worst access pattern) = 0.95 — lower confidence than the data-pattern searches")
+	return e.add(r), nil
+}
+
+func bar(n int) string {
+	if n > 60 {
+		n = 60
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// Fig14MarginalTREFP regenerates Fig 14: the marginal refresh periods
+// discovered by the three virus classes at 50/60/70 °C under relaxed VDD,
+// for both margin criteria, plus the power savings of the use case.
+func (e *Engine) Fig14MarginalTREFP() (*Report, error) {
+	r := newReport("fig14", "marginal TREFP under relaxed VDD and power savings")
+	ctl := e.F.Srv.MCU(e.F.MCU)
+	dev := ctl.Device()
+
+	deployData64 := func() error {
+		ctl.ResetStats()
+		dev.Reset()
+		dev.FillAllUniform(e.WorstWord)
+		return nil
+	}
+	spec24 := core.NewData24KSpec()
+	deployData24 := func() error {
+		ctl.ResetStats()
+		if err := spec24.Prepare(e.F); err != nil {
+			return err
+		}
+		return spec24.Deploy(e.F, e.idealBlockGenome(spec24))
+	}
+	rows := core.NewAccessRowsSpec(e.WorstWord)
+	deployAccess := func() error {
+		if err := rows.Prepare(e.F); err != nil {
+			return err
+		}
+		g := e.accessBest
+		if g == nil {
+			all := bitvec.New(64)
+			for i := 0; i < 64; i++ {
+				all.Set(i, true)
+			}
+			g = ga.NewBitGenome(all)
+		}
+		return rows.Deploy(e.F, g)
+	}
+
+	viruses := []struct {
+		name   string
+		deploy func() error
+	}{
+		{"64-bit data", deployData64},
+		{"24-KByte data", deployData24},
+		{"access", deployAccess},
+	}
+	temps := []float64{50, 60, 70}
+	margins := map[string]map[float64]float64{}
+	for _, v := range viruses {
+		margins[v.name] = map[float64]float64{}
+		for _, temp := range temps {
+			m, err := e.F.MarginalTREFP(v.deploy, core.RelaxedVDD, temp,
+				core.NoErrors, e.Cfg.MarginGrid)
+			if err != nil {
+				return nil, err
+			}
+			margins[v.name][temp] = m
+			r.rowf("%-14s no-errors margin at %2.0f°C: %6.3f s", v.name, temp, m)
+		}
+	}
+	// UE-only margins (the paper's "Single-bit errors" series).
+	for _, temp := range temps {
+		m, err := e.F.MarginalTREFP(deployData64, core.RelaxedVDD, temp,
+			core.NoUEs, e.Cfg.MarginGrid)
+		if err != nil {
+			return nil, err
+		}
+		r.rowf("%-14s no-UE margin at %2.0f°C:     %6.3f s", "64-bit data", temp, m)
+		r.Metrics[metricName("noue_margin", temp)] = m
+	}
+	for name, byTemp := range margins {
+		for temp, m := range byTemp {
+			r.Metrics[metricName("margin_"+slug(name), temp)] = m
+		}
+	}
+
+	// Validation: real workloads run error-free at the access virus's
+	// margin (the paper ran Rodinia/Parsec/Ligra for three weeks).
+	val, err := e.F.ValidateMargin(workload.All(), margins["access"][50],
+		core.RelaxedVDD, 50, 40000, e.Cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	r.Metrics["validation_clean"] = boolMetric(val.Clean)
+	r.rowf("workload validation at %.3fs/50°C: %v (clean=%v)",
+		val.TREFP, val.ByWorkload, val.Clean)
+
+	// Power use case at the access virus's 50°C margin (the most
+	// conservative usable setting).
+	sav, err := core.SavingsAt(power.Default(), margins["access"][50],
+		core.RelaxedVDD)
+	if err != nil {
+		return nil, err
+	}
+	r.Metrics["dram_savings"] = sav.DIMMSavings
+	r.Metrics["system_savings"] = sav.SystemSavings
+	r.rowf("power at marginal TREFP %.3fs/%.3fV: DIMM %.2fW -> %.2fW (%.1f%%); system %.1f%%",
+		sav.MarginalTREFP, core.RelaxedVDD, sav.DIMMNominalW,
+		sav.DIMMMarginalW, sav.DIMMSavings*100, sav.SystemSavings*100)
+	r.notef("paper: access virus finds the most pessimistic margins; UE-only margins are higher; 17.7%% DRAM / 8.6%% system savings")
+	return e.add(r), nil
+}
+
+func metricName(prefix string, temp float64) string {
+	return prefix + "_" + itoa(int(temp)) + "C"
+}
+
+func slug(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c == ' ', c == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,68 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) and use-case (Section VI) chapters on the
+// simulated platform. Each experiment produces a Report — the rows/series
+// the paper plots plus the headline metrics — and the Engine threads the
+// discovered viruses from one experiment into the next, exactly as the
+// 7-month campaign did (the worst-case 64-bit pattern feeds the access
+// templates; the discovered viruses feed the margin study).
+//
+// The same code backs the root-level benchmark harness (one benchmark per
+// figure) and the cmd/experiments binary that writes EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the regenerated content of one figure or table.
+type Report struct {
+	ID    string // e.g. "fig8a"
+	Title string
+	// Rows are the formatted result lines (the figure's series).
+	Rows []string
+	// Metrics are the headline numbers, keyed by stable names, used by the
+	// benchmark harness and EXPERIMENTS.md.
+	Metrics map[string]float64
+	// Notes records qualitative observations (convergence, orderings).
+	Notes []string
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+func (r *Report) rowf(format string, args ...interface{}) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Metric returns a metric value (0 if absent).
+func (r *Report) Metric(name string) float64 { return r.Metrics[name] }
+
+// String renders the report as plain text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %s\n", row)
+	}
+	if len(r.Metrics) > 0 {
+		names := make([]string, 0, len(r.Metrics))
+		for name := range r.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-32s %g\n", name+":", r.Metrics[name])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

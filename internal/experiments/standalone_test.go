@@ -1,0 +1,102 @@
+package experiments
+
+import "testing"
+
+// The standalone tests run individual experiments on fresh engines,
+// exercising the fallback paths that RunAll's result-threading normally
+// skips (canonical worst/best words, all-rows access genomes).
+
+func quickEngine(t *testing.T) *Engine {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.RandomSamples = 40
+	cfg.SearchGens = 25
+	cfg.BlockGens = 8
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestStandaloneFig13a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e := quickEngine(t)
+	r, err := e.Fig13aDataPatternPDF() // no prior fig8a/fig9: fallbacks used
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("d64_p_found_worst") < 0.5 {
+		t.Errorf("standalone fig13a: P(found worst) %.3f",
+			r.Metric("d64_p_found_worst"))
+	}
+	if r.Metric("d24_p_stronger_exists") > 0.05 {
+		t.Errorf("standalone fig13a: 24K tail %.3g",
+			r.Metric("d24_p_stronger_exists"))
+	}
+}
+
+func TestStandaloneFig13b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e := quickEngine(t)
+	r, err := e.Fig13bAccessPatternPDF() // fallback all-rows genome
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("p_found_worst") < 0.3 {
+		t.Errorf("standalone fig13b: P(found worst) %.3f",
+			r.Metric("p_found_worst"))
+	}
+}
+
+func TestStandaloneFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e := quickEngine(t)
+	r, err := e.Fig14MarginalTREFP() // fallback access genome + canonical words
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("margin_64_bit_data_50C") < r.Metric("margin_64_bit_data_70C") {
+		t.Error("standalone fig14: margins not decreasing with temperature")
+	}
+	if r.Metric("validation_clean") != 1 {
+		t.Error("standalone fig14: validation not clean")
+	}
+}
+
+func TestStandaloneFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e := quickEngine(t)
+	r, err := e.Fig10Worst512KB() // no prior fig9: the 24K comparison is absent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, has := r.Metrics["gain_over_24k"]; has {
+		t.Error("standalone fig10 computed a 24K comparison without fig9")
+	}
+	if r.Metric("ideal_gain_over_uniform") <= 0 {
+		t.Error("standalone fig10: ideal block shows no gain")
+	}
+}
+
+func TestStandaloneExtRowhammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e := quickEngine(t)
+	r, err := e.ExtRowhammer() // fallback all-rows cached genome
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("clflush_gain") <= 0 {
+		t.Errorf("standalone rowhammer gain %.3f", r.Metric("clflush_gain"))
+	}
+}

@@ -1,0 +1,311 @@
+package ga
+
+import (
+	"fmt"
+	"time"
+
+	"dstress/internal/xrand"
+)
+
+// Params configures a search. The defaults are the ones the paper selected
+// by simulating the search on a bit-counting fitness function: population
+// 40, mutation probability 0.5, crossover probability 0.9.
+type Params struct {
+	PopulationSize int
+	CrossoverProb  float64 // probability a parent pair is recombined
+	MutationProb   float64 // probability an offspring is mutated
+	// MutationPerGene is the per-gene change rate inside a mutated
+	// offspring. Zero means 1/len(genome).
+	MutationPerGene float64
+	ElitismCount    int // best genomes copied unchanged each generation
+
+	// ConvergenceSim stops the search when the mean pairwise population
+	// similarity reaches this threshold (paper: 0.85).
+	ConvergenceSim float64
+	// ConvergeMinBest inhibits the similarity stop while the best fitness
+	// is below this value: a population that homogenized without meeting
+	// the objective keeps searching. Zero means no requirement; set it
+	// below any achievable fitness to disable.
+	ConvergeMinBest float64
+	// UseConvergeMinBest enables the ConvergeMinBest gate (needed because
+	// the zero value is a legitimate threshold).
+	UseConvergeMinBest bool
+	// MaxGenerations bounds the search length.
+	MaxGenerations int
+	// MaxDuration bounds wall-clock time, standing in for the paper's
+	// two-week budget. Zero means unlimited.
+	MaxDuration time.Duration
+}
+
+// DefaultParams returns the paper's GA configuration.
+func DefaultParams() Params {
+	return Params{
+		PopulationSize: 40,
+		CrossoverProb:  0.9,
+		MutationProb:   0.5,
+		ElitismCount:   2,
+		ConvergenceSim: 0.85,
+		MaxGenerations: 200,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.PopulationSize < 2:
+		return fmt.Errorf("ga: PopulationSize = %d", p.PopulationSize)
+	case p.CrossoverProb < 0 || p.CrossoverProb > 1:
+		return fmt.Errorf("ga: CrossoverProb = %v", p.CrossoverProb)
+	case p.MutationProb < 0 || p.MutationProb > 1:
+		return fmt.Errorf("ga: MutationProb = %v", p.MutationProb)
+	case p.ElitismCount < 0 || p.ElitismCount >= p.PopulationSize:
+		return fmt.Errorf("ga: ElitismCount = %d", p.ElitismCount)
+	case p.ConvergenceSim < 0 || p.ConvergenceSim > 1:
+		return fmt.Errorf("ga: ConvergenceSim = %v", p.ConvergenceSim)
+	case p.MaxGenerations < 1:
+		return fmt.Errorf("ga: MaxGenerations = %d", p.MaxGenerations)
+	}
+	return nil
+}
+
+// Fitness evaluates one chromosome. Higher is better; to minimize a
+// quantity, return its negation. Implementations are expected to average
+// over repeated runs themselves when the underlying measurement is noisy
+// (the paper uses ten runs per virus).
+type Fitness func(g Genome) (float64, error)
+
+// GenStats records one generation for convergence analysis.
+type GenStats struct {
+	Generation int
+	Best       float64
+	Mean       float64
+	Similarity float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best        Genome
+	BestFitness float64
+	// Population and Fitnesses hold the final generation, sorted by
+	// descending fitness — the "40 worst-case patterns" of the paper's
+	// figures.
+	Population []Genome
+	Fitnesses  []float64
+
+	Generations     int
+	Converged       bool
+	FinalSimilarity float64
+	History         []GenStats
+}
+
+// Engine runs one genetic search.
+type Engine struct {
+	params  Params
+	fitness Fitness
+	rng     *xrand.Rand
+
+	// Evaluations counts fitness calls, for the efficiency analysis.
+	Evaluations int
+}
+
+// New builds an engine.
+func New(params Params, fitness Fitness, rng *xrand.Rand) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if fitness == nil {
+		return nil, fmt.Errorf("ga: nil fitness")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ga: nil rng")
+	}
+	return &Engine{params: params, fitness: fitness, rng: rng}, nil
+}
+
+// Run executes the search from the given initial population (random
+// chromosomes in the paper; a recorded population when resuming an
+// interrupted search from the virus database). The slice must have exactly
+// PopulationSize genomes.
+func (e *Engine) Run(initial []Genome) (Result, error) {
+	p := e.params
+	if len(initial) != p.PopulationSize {
+		return Result{}, fmt.Errorf("ga: initial population %d, want %d",
+			len(initial), p.PopulationSize)
+	}
+	pop := make([]Genome, len(initial))
+	for i, g := range initial {
+		if g == nil {
+			return Result{}, fmt.Errorf("ga: nil genome at %d", i)
+		}
+		pop[i] = g.Clone()
+	}
+
+	fits := make([]float64, len(pop))
+	for i, g := range pop {
+		f, err := e.fitness(g)
+		if err != nil {
+			return Result{}, err
+		}
+		e.Evaluations++
+		fits[i] = f
+	}
+
+	perGene := p.MutationPerGene
+	if perGene == 0 {
+		perGene = 1.5 / float64(pop[0].Len())
+	}
+
+	start := time.Now()
+	res := Result{}
+	for gen := 1; gen <= p.MaxGenerations; gen++ {
+		sortByFitness(pop, fits)
+		sim := meanPairwiseSimilarity(pop)
+		res.History = append(res.History, GenStats{
+			Generation: gen,
+			Best:       fits[0],
+			Mean:       mean(fits),
+			Similarity: sim,
+		})
+		res.Generations = gen
+		res.FinalSimilarity = sim
+		if sim >= p.ConvergenceSim &&
+			(!p.UseConvergeMinBest || fits[0] >= p.ConvergeMinBest) {
+			res.Converged = true
+			break
+		}
+		if p.MaxDuration > 0 && time.Since(start) > p.MaxDuration {
+			break
+		}
+
+		next := make([]Genome, 0, len(pop))
+		nextFits := make([]float64, 0, len(pop))
+		for i := 0; i < p.ElitismCount; i++ {
+			next = append(next, pop[i].Clone())
+			nextFits = append(nextFits, fits[i])
+		}
+
+		weights := selectionWeights(len(pop))
+		for len(next) < len(pop) {
+			a := pop[e.roulette(weights)]
+			b := pop[e.roulette(weights)]
+			var c1, c2 Genome
+			if e.rng.Bool(p.CrossoverProb) {
+				c1, c2 = a.Crossover(b, e.rng)
+			} else {
+				c1, c2 = a.Clone(), b.Clone()
+			}
+			for _, child := range []Genome{c1, c2} {
+				if len(next) >= len(pop) {
+					break
+				}
+				if e.rng.Bool(p.MutationProb) {
+					child.Mutate(e.rng, perGene)
+				}
+				f, err := e.fitness(child)
+				if err != nil {
+					return Result{}, err
+				}
+				e.Evaluations++
+				next = append(next, child)
+				nextFits = append(nextFits, f)
+			}
+		}
+		pop, fits = next, nextFits
+	}
+
+	sortByFitness(pop, fits)
+	res.Population = pop
+	res.Fitnesses = fits
+	res.Best = pop[0]
+	res.BestFitness = fits[0]
+	if res.FinalSimilarity == 0 && len(res.History) > 0 {
+		res.FinalSimilarity = res.History[len(res.History)-1].Similarity
+	}
+	return res, nil
+}
+
+// selectionWeights returns rank-based roulette weights for a population
+// already sorted by descending fitness: the best individual is selected
+// roughly twice as often as the worst. Rank-based selection keeps the
+// pressure independent of the fitness scale (raw CE counts span orders of
+// magnitude across temperatures) and preserves diversity long enough for
+// the similarity-based convergence criterion to be meaningful.
+func selectionWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(2*n-i) / float64(n)
+	}
+	return w
+}
+
+func (e *Engine) roulette(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := e.rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func sortByFitness(pop []Genome, fits []float64) {
+	// Insertion sort: populations are small (40) and mostly sorted after
+	// the first generations.
+	for i := 1; i < len(pop); i++ {
+		g, f := pop[i], fits[i]
+		j := i - 1
+		for j >= 0 && fits[j] < f {
+			pop[j+1], fits[j+1] = pop[j], fits[j]
+			j--
+		}
+		pop[j+1], fits[j+1] = g, f
+	}
+}
+
+func meanPairwiseSimilarity(pop []Genome) float64 {
+	if len(pop) < 2 {
+		return 1
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(pop); i++ {
+		for j := i + 1; j < len(pop); j++ {
+			sum += pop[i].SimilarityTo(pop[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RandomBitPopulation builds a first generation of uniform random bit
+// genomes.
+func RandomBitPopulation(size, bits int, rng *xrand.Rand) []Genome {
+	pop := make([]Genome, size)
+	for i := range pop {
+		pop[i] = RandomBitGenome(bits, rng)
+	}
+	return pop
+}
+
+// RandomIntPopulation builds a first generation of uniform random integer
+// genomes.
+func RandomIntPopulation(size, genes, lo, hi int, rng *xrand.Rand) []Genome {
+	pop := make([]Genome, size)
+	for i := range pop {
+		pop[i] = RandomIntGenome(genes, lo, hi, rng)
+	}
+	return pop
+}

@@ -1,0 +1,149 @@
+package ga
+
+import (
+	"fmt"
+
+	"dstress/internal/similarity"
+	"dstress/internal/xrand"
+)
+
+// MixedGenome is a chromosome of integers with per-gene bounds. It encodes
+// a whole template parameter list — binary vectors, bounded coefficient
+// vectors and scalars concatenated — so the GA can search templates that
+// mix parameter kinds, which neither BitGenome nor IntGenome covers alone.
+// Similarity uses the weighted Jaccard function, the paper's metric for
+// non-binary chromosomes.
+type MixedGenome struct {
+	Vals []int
+	Lo   []int // inclusive per-gene lower bounds
+	Hi   []int // inclusive per-gene upper bounds
+}
+
+// NewMixedGenome validates and wraps a chromosome.
+func NewMixedGenome(vals, lo, hi []int) (*MixedGenome, error) {
+	if len(vals) != len(lo) || len(vals) != len(hi) {
+		return nil, fmt.Errorf("ga: mixed genome length mismatch %d/%d/%d",
+			len(vals), len(lo), len(hi))
+	}
+	for i := range vals {
+		if hi[i] < lo[i] {
+			return nil, fmt.Errorf("ga: gene %d bounds [%d,%d]", i, lo[i], hi[i])
+		}
+		if vals[i] < lo[i] || vals[i] > hi[i] {
+			return nil, fmt.Errorf("ga: gene %d = %d outside [%d,%d]",
+				i, vals[i], lo[i], hi[i])
+		}
+	}
+	return &MixedGenome{Vals: vals, Lo: lo, Hi: hi}, nil
+}
+
+// RandomMixedGenome samples each gene uniformly within its bounds.
+func RandomMixedGenome(lo, hi []int, rng *xrand.Rand) (*MixedGenome, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("ga: bounds length mismatch %d/%d", len(lo), len(hi))
+	}
+	vals := make([]int, len(lo))
+	for i := range vals {
+		if hi[i] < lo[i] {
+			return nil, fmt.Errorf("ga: gene %d bounds [%d,%d]", i, lo[i], hi[i])
+		}
+		vals[i] = rng.IntRange(lo[i], hi[i])
+	}
+	return &MixedGenome{Vals: vals, Lo: lo, Hi: hi}, nil
+}
+
+// RandomMixedPopulation samples a first generation.
+func RandomMixedPopulation(size int, lo, hi []int, rng *xrand.Rand) ([]Genome, error) {
+	pop := make([]Genome, size)
+	for i := range pop {
+		g, err := RandomMixedGenome(lo, hi, rng)
+		if err != nil {
+			return nil, err
+		}
+		pop[i] = g
+	}
+	return pop, nil
+}
+
+// Clone implements Genome.
+func (g *MixedGenome) Clone() Genome {
+	return &MixedGenome{
+		Vals: append([]int(nil), g.Vals...),
+		Lo:   g.Lo, // bounds are immutable and shared
+		Hi:   g.Hi,
+	}
+}
+
+// Len implements Genome.
+func (g *MixedGenome) Len() int { return len(g.Vals) }
+
+// Mutate implements Genome: mutated genes re-sample within their bounds;
+// binary genes flip.
+func (g *MixedGenome) Mutate(rng *xrand.Rand, perGene float64) {
+	if len(g.Vals) == 0 {
+		return
+	}
+	changed := false
+	mutateGene := func(i int) {
+		if g.Lo[i] == g.Hi[i] {
+			return // fixed gene
+		}
+		if g.Hi[i]-g.Lo[i] == 1 {
+			g.Vals[i] = g.Lo[i] + g.Hi[i] - g.Vals[i] // flip binary gene
+		} else {
+			g.Vals[i] = rng.IntRange(g.Lo[i], g.Hi[i])
+		}
+		changed = true
+	}
+	for i := range g.Vals {
+		if rng.Bool(perGene) {
+			mutateGene(i)
+		}
+	}
+	if !changed {
+		mutateGene(rng.Intn(len(g.Vals)))
+	}
+}
+
+// Crossover implements Genome (two-point).
+func (g *MixedGenome) Crossover(other Genome, rng *xrand.Rand) (Genome, Genome) {
+	o, ok := other.(*MixedGenome)
+	if !ok || len(o.Vals) != len(g.Vals) {
+		panic("ga: incompatible genomes in crossover")
+	}
+	a := g.Clone().(*MixedGenome)
+	b := o.Clone().(*MixedGenome)
+	n := len(g.Vals)
+	if n < 2 {
+		return a, b
+	}
+	p1, p2 := rng.Intn(n), rng.Intn(n)
+	if p1 > p2 {
+		p1, p2 = p2, p1
+	}
+	for i := p1; i < p2; i++ {
+		a.Vals[i], b.Vals[i] = b.Vals[i], a.Vals[i]
+	}
+	return a, b
+}
+
+// SimilarityTo implements Genome. Genes are shifted by their lower bounds
+// so the weighted Jaccard's non-negativity requirement holds for any
+// bounds.
+func (g *MixedGenome) SimilarityTo(other Genome) float64 {
+	o, ok := other.(*MixedGenome)
+	if !ok || len(o.Vals) != len(g.Vals) {
+		panic("ga: incompatible genomes in similarity")
+	}
+	x := make([]int, len(g.Vals))
+	y := make([]int, len(o.Vals))
+	for i := range x {
+		x[i] = g.Vals[i] - g.Lo[i]
+		y[i] = o.Vals[i] - o.Lo[i]
+	}
+	s, err := similarity.WeightedJaccardInts(x, y)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+package ga
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstress/internal/xrand"
+)
+
+func TestMixedGenomeValidation(t *testing.T) {
+	if _, err := NewMixedGenome([]int{1}, []int{0, 0}, []int{1, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewMixedGenome([]int{1}, []int{2}, []int{1}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := NewMixedGenome([]int{5}, []int{0}, []int{3}); err == nil {
+		t.Fatal("out-of-bounds gene accepted")
+	}
+	g, err := NewMixedGenome([]int{1, 10}, []int{0, 5}, []int{1, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestRandomMixedGenomeRespectsBounds(t *testing.T) {
+	rng := xrand.New(1)
+	lo := []int{0, 0, 5, -3}
+	hi := []int{1, 20, 5, 3}
+	for trial := 0; trial < 200; trial++ {
+		g, err := RandomMixedGenome(lo, hi, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range g.Vals {
+			if v < lo[i] || v > hi[i] {
+				t.Fatalf("gene %d = %d outside [%d,%d]", i, v, lo[i], hi[i])
+			}
+		}
+	}
+	if _, err := RandomMixedGenome([]int{0}, []int{1, 2}, rng); err == nil {
+		t.Fatal("bounds mismatch accepted")
+	}
+	if _, err := RandomMixedGenome([]int{2}, []int{1}, rng); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}
+
+func TestMixedMutationRespectsBoundsAndFixedGenes(t *testing.T) {
+	rng := xrand.New(2)
+	lo := []int{0, 7, 0}
+	hi := []int{1, 7, 20}
+	g, err := RandomMixedGenome(lo, hi, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		g.Mutate(rng, 0.5)
+		if g.Vals[1] != 7 {
+			t.Fatal("fixed gene mutated")
+		}
+		for j, v := range g.Vals {
+			if v < lo[j] || v > hi[j] {
+				t.Fatalf("gene %d escaped bounds: %d", j, v)
+			}
+		}
+	}
+}
+
+func TestMixedBinaryGeneFlips(t *testing.T) {
+	rng := xrand.New(3)
+	g, err := NewMixedGenome([]int{0}, []int{0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Mutate(rng, 1)
+	if g.Vals[0] != 1 {
+		t.Fatal("binary gene did not flip")
+	}
+	g.Mutate(rng, 1)
+	if g.Vals[0] != 0 {
+		t.Fatal("binary gene did not flip back")
+	}
+}
+
+func TestMixedCrossoverConserves(t *testing.T) {
+	rng := xrand.New(4)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(40)
+		lo := make([]int, n)
+		hi := make([]int, n)
+		for i := range lo {
+			hi[i] = 1 + r.Intn(20)
+		}
+		a, err := RandomMixedGenome(lo, hi, rng)
+		if err != nil {
+			return false
+		}
+		b, err := RandomMixedGenome(lo, hi, rng)
+		if err != nil {
+			return false
+		}
+		c1, c2 := a.Crossover(b, r)
+		for i := 0; i < n; i++ {
+			av, bv := a.Vals[i], b.Vals[i]
+			cv1 := c1.(*MixedGenome).Vals[i]
+			cv2 := c2.(*MixedGenome).Vals[i]
+			if !((av == cv1 && bv == cv2) || (av == cv2 && bv == cv1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedSimilarity(t *testing.T) {
+	lo := []int{0, 0}
+	hi := []int{20, 20}
+	a, _ := NewMixedGenome([]int{10, 10}, lo, hi)
+	b, _ := NewMixedGenome([]int{10, 10}, lo, hi)
+	c, _ := NewMixedGenome([]int{0, 20}, lo, hi)
+	if a.SimilarityTo(b) != 1 {
+		t.Fatal("identical genomes not similarity 1")
+	}
+	if s := a.SimilarityTo(c); s >= 1 || s < 0 {
+		t.Fatalf("similarity %v out of range", s)
+	}
+	if a.SimilarityTo(c) != c.SimilarityTo(a) {
+		t.Fatal("similarity not symmetric")
+	}
+}
+
+func TestMixedSimilarityNegativeBounds(t *testing.T) {
+	// Genes shifted by lower bound: negative-bounded genes must not panic
+	// the Jaccard metric.
+	lo := []int{-5, -5}
+	hi := []int{5, 5}
+	a, err := NewMixedGenome([]int{-5, 5}, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMixedGenome([]int{5, -5}, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := a.SimilarityTo(b); s < 0 || s > 1 {
+		t.Fatalf("similarity %v out of range", s)
+	}
+}
+
+func TestMixedGenomeInEngine(t *testing.T) {
+	rng := xrand.New(9)
+	// Maximize the sum over mixed bounds.
+	fitness := func(g Genome) (float64, error) {
+		sum := 0
+		for _, v := range g.(*MixedGenome).Vals {
+			sum += v
+		}
+		return float64(sum), nil
+	}
+	lo := make([]int, 24)
+	hi := make([]int, 24)
+	for i := range hi {
+		if i%2 == 0 {
+			hi[i] = 1 // binary gene
+		} else {
+			hi[i] = 20
+		}
+	}
+	p := DefaultParams()
+	p.MaxGenerations = 200
+	p.ConvergenceSim = 1.0
+	eng, err := New(p, fitness, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := RandomMixedPopulation(40, lo, hi, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 12*1 + 12*20
+	if res.BestFitness < float64(max)*0.9 {
+		t.Fatalf("mixed search best %.0f, want near %d", res.BestFitness, max)
+	}
+}
+
+func TestMixedCloneIndependence(t *testing.T) {
+	a, _ := NewMixedGenome([]int{3, 4}, []int{0, 0}, []int{9, 9})
+	b := a.Clone().(*MixedGenome)
+	b.Vals[0] = 7
+	if a.Vals[0] != 3 {
+		t.Fatal("clone shares storage")
+	}
+}

@@ -1,0 +1,263 @@
+package memctl
+
+import (
+	"fmt"
+
+	"dstress/internal/addrmap"
+	"dstress/internal/dram"
+)
+
+// Latencies of the modelled memory hierarchy. Only their ratio matters for
+// the access-rate extrapolation, but the absolute values anchor simulated
+// time so activation counts can be expressed per refresh window.
+const (
+	HitLatencyNs  = 10
+	MissLatencyNs = 100
+)
+
+// Platform limits of the X-Gene 2 firmware interface used in the paper.
+const (
+	MinTREFP = 0.064 // nominal DDR3 refresh period (seconds)
+	MaxTREFP = 2.283 // maximum the platform accepts (35x nominal)
+	MinVDD   = 1.425 // vendor minimum; below this the server crashes
+	MaxVDD   = 1.5   // nominal supply voltage
+)
+
+// Config describes one memory-controller unit (MCU).
+type Config struct {
+	Cache CacheConfig
+}
+
+// DefaultConfig returns the standard MCU model.
+func DefaultConfig() Config { return Config{Cache: DefaultCacheConfig()} }
+
+type bankKey struct {
+	rank, bank int32
+}
+
+// Controller is one MCU: it owns a DIMM, applies the operating parameters,
+// and routes program accesses through the cache and row-buffer models while
+// counting row activations.
+type Controller struct {
+	dev   *dram.Device
+	geom  addrmap.Geometry
+	cache *Cache
+
+	trefp float64
+	vdd   float64
+
+	openRow map[bankKey]int32
+	acts    map[dram.RowKey]uint64
+	wbQueue []int64
+
+	clockNs     uint64
+	activations uint64
+	dramReads   uint64
+	dramWrites  uint64
+}
+
+// NewController wraps a device in an MCU at nominal operating parameters.
+func NewController(cfg Config, dev *dram.Device) (*Controller, error) {
+	cache, err := NewCache(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		dev:     dev,
+		geom:    dev.Geometry(),
+		cache:   cache,
+		trefp:   MinTREFP,
+		vdd:     MaxVDD,
+		openRow: make(map[bankKey]int32),
+		acts:    make(map[dram.RowKey]uint64),
+	}
+	return c, nil
+}
+
+// Device returns the DIMM behind this MCU.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// SetTREFP programs the refresh period, bounded by the platform limits.
+func (c *Controller) SetTREFP(seconds float64) error {
+	if seconds < MinTREFP || seconds > MaxTREFP {
+		return fmt.Errorf("memctl: TREFP %v outside [%v, %v]",
+			seconds, MinTREFP, MaxTREFP)
+	}
+	c.trefp = seconds
+	return nil
+}
+
+// TREFP returns the programmed refresh period.
+func (c *Controller) TREFP() float64 { return c.trefp }
+
+// SetVDD programs the DIMM supply voltage, bounded by the platform limits.
+// (On the real server an undervolt below 1.425 V crashes the machine; here
+// it is simply rejected.)
+func (c *Controller) SetVDD(volts float64) error {
+	if volts < MinVDD || volts > MaxVDD {
+		return fmt.Errorf("memctl: VDD %v outside [%v, %v]", volts, MinVDD, MaxVDD)
+	}
+	c.vdd = volts
+	return nil
+}
+
+// VDD returns the programmed supply voltage.
+func (c *Controller) VDD() float64 { return c.vdd }
+
+// wbQueueDepth is the controller's write-back buffer depth: evicted dirty
+// lines are queued and drained in bursts, preserving row locality the way
+// real memory controllers' write queues do. Draining writebacks one by one
+// interleaved with demand reads would re-open rows on every bank conflict.
+const wbQueueDepth = 32
+
+// queueWriteback buffers an evicted dirty line for a later burst drain.
+func (c *Controller) queueWriteback(addr int64) {
+	c.wbQueue = append(c.wbQueue, addr)
+	if len(c.wbQueue) >= wbQueueDepth {
+		c.drainWritebacks()
+	}
+}
+
+// drainWritebacks issues all queued write-backs back to back.
+func (c *Controller) drainWritebacks() {
+	for _, addr := range c.wbQueue {
+		c.dramAccess(addr, true)
+	}
+	c.wbQueue = c.wbQueue[:0]
+}
+
+// dramAccess models one line transfer between controller and DRAM,
+// accounting for row activations through the per-bank row buffer.
+func (c *Controller) dramAccess(addr int64, write bool) {
+	loc := c.geom.Map(addr)
+	bk := bankKey{int32(loc.Rank), int32(loc.Bank)}
+	if open, ok := c.openRow[bk]; !ok || open != int32(loc.Row) {
+		c.openRow[bk] = int32(loc.Row)
+		c.acts[dram.Key(loc)]++
+		c.activations++
+	}
+	if write {
+		c.dramWrites++
+	} else {
+		c.dramReads++
+	}
+}
+
+// ReadWord loads the 64-bit word at a byte address through the cache
+// hierarchy. Unwritten memory reads as zero.
+func (c *Controller) ReadWord(addr int64) uint64 {
+	res := c.cache.Access(addr, false)
+	if res.Hit {
+		c.clockNs += HitLatencyNs
+	} else {
+		c.clockNs += MissLatencyNs
+		if res.WritebackAddr >= 0 {
+			c.queueWriteback(res.WritebackAddr)
+		}
+		c.dramAccess(addr, false)
+	}
+	v, _ := c.dev.ReadWord(c.geom.Map(addr))
+	return v
+}
+
+// ReadWordUncached loads a word bypassing the cache, as a load preceded by
+// a cache-line flush (clflush) does. Every call reaches DRAM and can
+// reopen the row — the access mode of published rowhammer attacks, with an
+// order of magnitude more activations per second than cached loads.
+func (c *Controller) ReadWordUncached(addr int64) uint64 {
+	c.clockNs += MissLatencyNs
+	c.dramAccess(addr, false)
+	v, _ := c.dev.ReadWord(c.geom.Map(addr))
+	return v
+}
+
+// WriteWord stores a 64-bit word. Data is propagated to the device image
+// immediately (so evaluation always sees current data), while traffic and
+// activations follow the write-back cache model.
+func (c *Controller) WriteWord(addr int64, v uint64) {
+	res := c.cache.Access(addr, true)
+	if res.Hit {
+		c.clockNs += HitLatencyNs
+	} else {
+		c.clockNs += MissLatencyNs
+		if res.WritebackAddr >= 0 {
+			c.queueWriteback(res.WritebackAddr)
+		}
+		c.dramAccess(addr, false) // line fill
+	}
+	c.dev.WriteWord(c.geom.Map(addr), v)
+}
+
+// FillRegion writes the same word to every 64-bit location in
+// [startAddr, startAddr+bytes), bypassing the cache model. It corresponds
+// to the bulk initialization loop of a virus, which the paper's framework
+// does once before the measured run; its traffic is not part of the access
+// pattern under study.
+func (c *Controller) FillRegion(startAddr, bytes int64, word uint64) error {
+	if startAddr%8 != 0 || bytes%8 != 0 || bytes < 0 {
+		return fmt.Errorf("memctl: unaligned fill [%#x, +%d)", startAddr, bytes)
+	}
+	for a := startAddr; a < startAddr+bytes; a += 8 {
+		c.dev.WriteWord(c.geom.Map(a), word)
+	}
+	return nil
+}
+
+// ElapsedNs returns the simulated time consumed by accesses so far.
+func (c *Controller) ElapsedNs() uint64 { return c.clockNs }
+
+// AdvanceNs adds idle time to the clock (e.g. compute-only phases).
+func (c *Controller) AdvanceNs(ns uint64) { c.clockNs += ns }
+
+// Activations returns the total row-activation count.
+func (c *Controller) Activations() uint64 { return c.activations }
+
+// CacheStats exposes the cache hit/miss/write-back counters.
+func (c *Controller) CacheStats() (hits, misses, writebacks uint64) {
+	return c.cache.Stats()
+}
+
+// DRAMTraffic returns line reads and writes that reached the device.
+func (c *Controller) DRAMTraffic() (reads, writes uint64) {
+	return c.dramReads, c.dramWrites
+}
+
+// ActsPerWindow converts the accumulated activation counts into activations
+// per refresh window (the disturbance unit of the device model),
+// extrapolating the observed access rate over the programmed TREFP. It
+// returns nil if no time has elapsed.
+func (c *Controller) ActsPerWindow() map[dram.RowKey]float64 {
+	c.drainWritebacks()
+	if c.clockNs == 0 || len(c.acts) == 0 {
+		return nil
+	}
+	seconds := float64(c.clockNs) * 1e-9
+	out := make(map[dram.RowKey]float64, len(c.acts))
+	for k, n := range c.acts {
+		out[k] = float64(n) / seconds * c.trefp
+	}
+	return out
+}
+
+// ResetStats clears the clock, activation counters and row-buffer state and
+// flushes the cache (write-backs from the flush are not counted). Operating
+// parameters are preserved.
+func (c *Controller) ResetStats() {
+	c.cache.Flush()
+	c.openRow = make(map[bankKey]int32)
+	c.ResetCounters()
+}
+
+// ResetCounters zeroes the clock and traffic counters but keeps the cache
+// and row-buffer state. Measurements that must exclude cold-start effects
+// warm the hierarchy up first, reset the counters, and then run the
+// measured phase — otherwise a short epoch of compulsory misses would be
+// extrapolated as the steady-state access rate.
+func (c *Controller) ResetCounters() {
+	c.wbQueue = c.wbQueue[:0]
+	c.acts = make(map[dram.RowKey]uint64)
+	c.clockNs = 0
+	c.activations = 0
+	c.dramReads = 0
+	c.dramWrites = 0
+}

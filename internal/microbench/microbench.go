@@ -1,0 +1,101 @@
+// Package microbench implements the traditional data-pattern
+// micro-benchmarks used to characterize DRAM retention in prior work and as
+// the comparison baselines of the paper's Fig 8e: MSCAN (all-0s, all-1s),
+// checkerboard, walking-0s, walking-1s, and a random pattern.
+package microbench
+
+import (
+	"fmt"
+
+	"dstress/internal/xrand"
+)
+
+// Benchmark is one data-pattern micro-benchmark. A benchmark runs in one or
+// more passes; each pass fills the memory under test with a (row-dependent)
+// word and measures the resulting errors. Multi-pass benchmarks (MSCAN,
+// walking patterns) report the worst pass.
+type Benchmark struct {
+	Name   string
+	Passes int
+	// Word returns the fill word for a given pass and row index.
+	Word func(pass, rowIdx int) uint64
+}
+
+// All returns the baseline suite. walkPasses bounds the number of walking
+// positions exercised (64 reproduces the full classical test; smaller
+// values keep simulations quick). randSeed seeds the random benchmark.
+func All(walkPasses int, randSeed uint64) ([]Benchmark, error) {
+	if walkPasses < 1 || walkPasses > 64 {
+		return nil, fmt.Errorf("microbench: walkPasses = %d", walkPasses)
+	}
+	rng := xrand.New(randSeed)
+	randomWords := make([]uint64, 64)
+	for i := range randomWords {
+		randomWords[i] = rng.Uint64()
+	}
+	return []Benchmark{
+		{
+			// MSCAN fills memory with all zeroes...
+			Name:   "all0s",
+			Passes: 1,
+			Word:   func(int, int) uint64 { return 0 },
+		},
+		{
+			// ...and with all ones.
+			Name:   "all1s",
+			Passes: 1,
+			Word:   func(int, int) uint64 { return ^uint64(0) },
+		},
+		{
+			// Checkerboard alternates bits, inverting every other row so
+			// vertically adjacent cells also alternate.
+			Name:   "checkerboard",
+			Passes: 1,
+			Word: func(_, rowIdx int) uint64 {
+				if rowIdx%2 == 0 {
+					return 0xAAAAAAAAAAAAAAAA
+				}
+				return 0x5555555555555555
+			},
+		},
+		{
+			// Walking-0s: all ones with a single zero walking across the
+			// word, one position per pass.
+			Name:   "walking0s",
+			Passes: walkPasses,
+			Word: func(pass, rowIdx int) uint64 {
+				return ^(uint64(1) << uint((pass+rowIdx)%64))
+			},
+		},
+		{
+			// Walking-1s: single one walking across an all-zero word.
+			Name:   "walking1s",
+			Passes: walkPasses,
+			Word: func(pass, rowIdx int) uint64 {
+				return uint64(1) << uint((pass+rowIdx)%64)
+			},
+		},
+		{
+			// Random data, fixed per (pass,row) so runs are repeatable.
+			Name:   "random",
+			Passes: 1,
+			Word: func(_, rowIdx int) uint64 {
+				return randomWords[rowIdx%64] ^ (0x9e3779b97f4a7c15 * uint64(rowIdx/64))
+			},
+		},
+	}, nil
+}
+
+// ByName returns one benchmark from the suite.
+func ByName(name string, walkPasses int, randSeed uint64) (Benchmark, error) {
+	suite, err := All(walkPasses, randSeed)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	for _, b := range suite {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("microbench: unknown benchmark %q", name)
+}

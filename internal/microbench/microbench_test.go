@@ -1,0 +1,103 @@
+package microbench
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	suite, err := All(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"all0s", "all1s", "checkerboard", "walking0s",
+		"walking1s", "random"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d benchmarks", len(suite))
+	}
+	for i, b := range suite {
+		if b.Name != want[i] {
+			t.Fatalf("benchmark %d is %q, want %q", i, b.Name, want[i])
+		}
+		if b.Passes < 1 {
+			t.Fatalf("%s has %d passes", b.Name, b.Passes)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := All(0, 1); err == nil {
+		t.Fatal("walkPasses 0 accepted")
+	}
+	if _, err := All(65, 1); err == nil {
+		t.Fatal("walkPasses 65 accepted")
+	}
+	if _, err := ByName("nope", 8, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFillWords(t *testing.T) {
+	b, err := ByName("all0s", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Word(0, 5) != 0 {
+		t.Fatal("all0s not zero")
+	}
+	b, _ = ByName("all1s", 8, 1)
+	if b.Word(0, 5) != ^uint64(0) {
+		t.Fatal("all1s not ones")
+	}
+	b, _ = ByName("checkerboard", 8, 1)
+	if b.Word(0, 0) != 0xAAAAAAAAAAAAAAAA || b.Word(0, 1) != 0x5555555555555555 {
+		t.Fatal("checkerboard rows wrong")
+	}
+}
+
+func TestWalkingPatterns(t *testing.T) {
+	w0, _ := ByName("walking0s", 64, 1)
+	w1, _ := ByName("walking1s", 64, 1)
+	for pass := 0; pass < 64; pass++ {
+		z := w0.Word(pass, 0)
+		if bits.OnesCount64(z) != 63 {
+			t.Fatalf("walking0s pass %d has %d ones", pass, bits.OnesCount64(z))
+		}
+		o := w1.Word(pass, 0)
+		if bits.OnesCount64(o) != 1 {
+			t.Fatalf("walking1s pass %d has %d ones", pass, bits.OnesCount64(o))
+		}
+		if z != ^o {
+			t.Fatal("walking patterns not complementary")
+		}
+	}
+	// The zero walks: distinct positions across passes.
+	if w0.Word(0, 0) == w0.Word(1, 0) {
+		t.Fatal("walking0s does not walk")
+	}
+	// Row offset shifts the position.
+	if w0.Word(0, 1) != w0.Word(1, 0) {
+		t.Fatal("row offset inconsistent")
+	}
+}
+
+func TestRandomRepeatable(t *testing.T) {
+	a, _ := ByName("random", 8, 7)
+	b, _ := ByName("random", 8, 7)
+	c, _ := ByName("random", 8, 8)
+	same, diff := true, false
+	for row := 0; row < 100; row++ {
+		if a.Word(0, row) != b.Word(0, row) {
+			same = false
+		}
+		if a.Word(0, row) != c.Word(0, row) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different random patterns")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}

@@ -1,0 +1,190 @@
+package minicc
+
+// Type is the (tiny) C type system of the subset: 64-bit integers, signed
+// or unsigned, optionally a pointer to a 64-bit element.
+type Type struct {
+	Unsigned bool
+	Ptr      bool
+}
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val uint64
+}
+
+// Ident references a variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is a prefix operator: - ! ~ * (deref) ++ --.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is a binary operator.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// Assign is lhs = rhs and the compound forms.
+type Assign struct {
+	Pos Pos
+	Op  string // "=", "+=", ...
+	L   Expr
+	R   Expr
+}
+
+// Index is arr[idx].
+type Index struct {
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+// Call is a function call; the subset provides malloc and free.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Cast is (type)expr; it adjusts signedness/pointerness.
+type Cast struct {
+	Pos Pos
+	To  Type
+	X   Expr
+}
+
+// Sizeof is sizeof(type) or sizeof(expr); every type in the subset has
+// size 8.
+type Sizeof struct {
+	Pos Pos
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Pos  Pos
+	Cond Expr
+	A, B Expr
+}
+
+func (e *NumLit) exprPos() Pos  { return e.Pos }
+func (e *Ident) exprPos() Pos   { return e.Pos }
+func (e *Unary) exprPos() Pos   { return e.Pos }
+func (e *Postfix) exprPos() Pos { return e.Pos }
+func (e *Binary) exprPos() Pos  { return e.Pos }
+func (e *Assign) exprPos() Pos  { return e.Pos }
+func (e *Index) exprPos() Pos   { return e.Pos }
+func (e *Call) exprPos() Pos    { return e.Pos }
+func (e *Cast) exprPos() Pos    { return e.Pos }
+func (e *Sizeof) exprPos() Pos  { return e.Pos }
+func (e *Ternary) exprPos() Pos { return e.Pos }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// Declarator is one name in a declaration, possibly an array or with an
+// initializer.
+type Declarator struct {
+	Name     string
+	Ptr      bool
+	ArrSize  Expr // nil unless an array; nil size with InitList means sized by list
+	IsArray  bool
+	Init     Expr   // scalar initializer
+	InitList []Expr // brace initializer for arrays
+}
+
+// DeclStmt declares one or more variables of a base type.
+type DeclStmt struct {
+	Pos   Pos
+	Base  Type
+	Decls []Declarator
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+// Block is { ... }.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// If statement.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// For statement; any clause may be nil.
+type For struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or ExprStmt or nil
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// While statement.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile statement.
+type DoWhile struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// Break statement.
+type Break struct{ Pos Pos }
+
+// Continue statement.
+type Continue struct{ Pos Pos }
+
+// Return statement (value optional and discarded — virus bodies are
+// procedures).
+type Return struct {
+	Pos Pos
+	E   Expr
+}
+
+func (s *DeclStmt) stmtPos() Pos  { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos  { return s.Pos }
+func (s *EmptyStmt) stmtPos() Pos { return s.Pos }
+func (s *Block) stmtPos() Pos     { return s.Pos }
+func (s *If) stmtPos() Pos        { return s.Pos }
+func (s *For) stmtPos() Pos       { return s.Pos }
+func (s *While) stmtPos() Pos     { return s.Pos }
+func (s *DoWhile) stmtPos() Pos   { return s.Pos }
+func (s *Break) stmtPos() Pos     { return s.Pos }
+func (s *Continue) stmtPos() Pos  { return s.Pos }
+func (s *Return) stmtPos() Pos    { return s.Pos }

@@ -1,0 +1,303 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests exercise corners of the interpreter beyond the main suite:
+// nested control flow, pointer aliasing, cast semantics, and the budget
+// behaviour inside nested loops.
+
+func TestNestedLoopsAndBreakLevels(t *testing.T) {
+	m, _ := run(t, "", "int i; int j; int n;", `
+		n = 0;
+		for (i = 0; i < 10; i++) {
+			for (j = 0; j < 10; j++) {
+				if (j == 3) { break; }
+				n++;
+			}
+		}
+	`)
+	if got := lookupU(t, m, "n"); got != 30 {
+		t.Fatalf("n = %d, want 30 (break must exit only the inner loop)", got)
+	}
+}
+
+func TestContinueInWhile(t *testing.T) {
+	m, _ := run(t, "", "int i; int n;", `
+		i = 0; n = 0;
+		while (i < 10) {
+			i++;
+			if (i % 2) { continue; }
+			n++;
+		}
+	`)
+	if got := lookupU(t, m, "n"); got != 5 {
+		t.Fatalf("n = %d", got)
+	}
+}
+
+func TestPointerAliasing(t *testing.T) {
+	m, _ := run(t, "", `
+		unsigned long long* p;
+		unsigned long long* q;
+		unsigned long long v;`, `
+		p = (unsigned long long*)(malloc(64));
+		q = p + 2;
+		p[2] = 7;
+		v = *q;
+		*q = v * 3;
+		v = p[2];
+	`)
+	if got := lookupU(t, m, "v"); got != 21 {
+		t.Fatalf("aliased value %d, want 21", got)
+	}
+}
+
+func TestDerefAssignThroughCast(t *testing.T) {
+	m, _ := run(t, "", "unsigned long long* p; unsigned long long v;", `
+		p = (unsigned long long*)(malloc(8));
+		*((unsigned long long*)p) = 99;
+		v = p[0];
+	`)
+	if got := lookupU(t, m, "v"); got != 99 {
+		t.Fatalf("v = %d", got)
+	}
+}
+
+func TestCastChangesSignednessOnly(t *testing.T) {
+	m, _ := run(t, "", "long long s; unsigned long long u; int lt;", `
+		s = 0 - 1;
+		u = (unsigned long long)s;
+		lt = s < 0;          /* signed comparison */
+	`)
+	if lookupU(t, m, "u") != ^uint64(0) {
+		t.Fatal("cast altered bits")
+	}
+	if lookupU(t, m, "lt") != 1 {
+		t.Fatal("signed comparison after cast wrong")
+	}
+}
+
+func TestBudgetInsideNestedLoops(t *testing.T) {
+	mach, _, err := tryRun("", "int i; int j; unsigned long long n;", `
+		n = 0;
+		for (i = 0; i < 1000000; i++) {
+			for (j = 0; j < 1000000; j++) { n++; }
+		}
+	`, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mach.Stopped() {
+		t.Fatal("nested loops not stopped by budget")
+	}
+}
+
+func TestEmptyBodySections(t *testing.T) {
+	if _, _, err := tryRun("", "", "", 100); err != nil {
+		t.Fatalf("empty program rejected: %v", err)
+	}
+}
+
+func TestCommaSeparatedDeclarators(t *testing.T) {
+	m, _ := run(t, "", "int a, b, c;", "a = 1; b = 2; c = a + b;")
+	if lookupU(t, m, "c") != 3 {
+		t.Fatal("multi-declarator broken")
+	}
+}
+
+func TestMixedPointerAndScalarDeclarators(t *testing.T) {
+	m, _ := run(t, "", "unsigned long long *p, v;", `
+		p = (unsigned long long*)(malloc(8));
+		p[0] = 5;
+		v = p[0] + 1;
+	`)
+	if lookupU(t, m, "v") != 6 {
+		t.Fatal("mixed declarators broken")
+	}
+}
+
+func TestGlobalVisibleInBody(t *testing.T) {
+	m, _ := run(t, "unsigned long long g[] = {11, 22};", "unsigned long long v;",
+		"v = g[0] + g[1];")
+	if lookupU(t, m, "v") != 33 {
+		t.Fatal("globals not visible")
+	}
+}
+
+func TestHexAndSuffixLiterals(t *testing.T) {
+	m, _ := run(t, "", "unsigned long long a; unsigned long long b;", `
+		a = 0xFFFFFFFFFFFFFFFF;
+		b = 1ULL << 63;
+	`)
+	if lookupU(t, m, "a") != ^uint64(0) || lookupU(t, m, "b") != 1<<63 {
+		t.Fatal("literal parsing wrong")
+	}
+}
+
+func TestErrorMessagesCarryPositions(t *testing.T) {
+	_, _, err := tryRun("", "int x;", "\n\n x = y;", 100)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Fatalf("error lacks line info: %v", err)
+	}
+}
+
+func TestLoopScopedDeclaration(t *testing.T) {
+	m, _ := run(t, "", "int total;", `
+		total = 0;
+		for (int k = 0; k < 4; k++) { total += k; }
+	`)
+	if lookupU(t, m, "total") != 6 {
+		t.Fatal("for-scoped declaration broken")
+	}
+	if _, ok := m.Lookup("k"); ok {
+		t.Fatal("loop variable escaped its scope")
+	}
+}
+
+func TestHeapPlacement(t *testing.T) {
+	mem := newMapMemory()
+	mach, err := NewMachineWithHeap(mem, Region{Base: 0, Size: 1 << 12},
+		2048, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := ParseStmts("unsigned long long* p;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := ParseStmts("p = (unsigned long long*)(malloc(8)); p[0] = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Run(nil, locals, body); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := mach.Lookup("p")
+	if v.U < 2048 {
+		t.Fatalf("allocation at %#x, below heap start", v.U)
+	}
+}
+
+func TestHeapPlacementValidation(t *testing.T) {
+	mem := newMapMemory()
+	cases := []struct{ heap int64 }{{-8}, {4}, {1 << 20}}
+	for _, c := range cases {
+		if _, err := NewMachineWithHeap(mem, Region{Base: 0, Size: 1 << 12},
+			c.heap, 100); err == nil {
+			t.Errorf("heap start %d accepted", c.heap)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 64, Size: 128}
+	cases := []struct {
+		addr int64
+		want bool
+	}{
+		{64, true}, {184, true}, {56, false}, {192, false}, {185, false},
+	}
+	for _, c := range cases {
+		if r.Contains(c.addr) != c.want {
+			t.Errorf("Contains(%d) != %v", c.addr, c.want)
+		}
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !Uint(1).Bool() || Int(0).Bool() {
+		t.Fatal("Bool wrong")
+	}
+	if !Uint(7).Unsigned || Int(7).Unsigned {
+		t.Fatal("signedness wrong")
+	}
+}
+
+func TestTernaryNesting(t *testing.T) {
+	m, _ := run(t, "", "int x;", "x = 1 ? 2 ? 3 : 4 : 5;")
+	if lookupU(t, m, "x") != 3 {
+		t.Fatal("nested ternary wrong")
+	}
+}
+
+func TestModuloAndShiftPrecedence(t *testing.T) {
+	// 1 << 2 + 1 parses as 1 << (2+1) = 8 in C.
+	m, _ := run(t, "", "int x; int y;", `
+		x = 1 << 2 + 1;
+		y = 10 % 4 * 2;   /* (10%4)*2 = 4 */
+	`)
+	if lookupU(t, m, "x") != 8 || lookupU(t, m, "y") != 4 {
+		t.Fatalf("precedence wrong: x=%d y=%d",
+			lookupU(t, m, "x"), lookupU(t, m, "y"))
+	}
+}
+
+func TestMoreErrorPaths(t *testing.T) {
+	cases := []struct {
+		name                  string
+		globals, locals, body string
+	}{
+		{"postfix-non-lvalue", "", "int x;", "x = 5++;"},
+		{"prefix-non-lvalue", "", "int x;", "x = ++5;"},
+		{"assign-non-lvalue", "", "int x;", "5 = x;"},
+		{"compound-non-lvalue", "", "int x;", "(x + 1) += 2;"},
+		{"too-many-inits", "unsigned long long a[1] = {1, 2};", "", ""},
+		{"malloc-no-args", "", "int x;", "x = malloc();"},
+		{"malloc-three-args", "", "unsigned long long* p;", "p = malloc(1, 2, 3);"},
+		{"negative-malloc", "", "unsigned long long* p; int n;",
+			"n = 0 - 8; p = (unsigned long long*)(malloc(n));"},
+		{"deref-unaligned", "", "unsigned long long* p; unsigned long long x;",
+			"p = (unsigned long long*)(malloc(16)); p = (unsigned long long*)(1); x = *p;"},
+		{"ptr-compound-mod", "", "unsigned long long* p; unsigned long long* q;",
+			"p = (unsigned long long*)(malloc(8)); q = p; p = p % q;"},
+		{"continue-outside", "", "", "continue;"},
+		{"undefined-in-cond", "", "", "if (zz) { }"},
+	}
+	for _, c := range cases {
+		if _, _, err := tryRun(c.globals, c.locals, c.body, 1<<16); err == nil {
+			t.Errorf("%s: error not reported", c.name)
+		}
+	}
+}
+
+func TestFreeIsAcceptedAndIgnored(t *testing.T) {
+	m, _ := run(t, "", "unsigned long long* p; unsigned long long v;", `
+		p = (unsigned long long*)(malloc(8));
+		p[0] = 7;
+		free(p);
+		v = p[0]; /* bump allocator: still readable */
+	`)
+	if lookupU(t, m, "v") != 7 {
+		t.Fatal("free corrupted the allocation")
+	}
+}
+
+func TestNegativeUnaryAndNot(t *testing.T) {
+	m, _ := run(t, "", "long long a; int b; unsigned long long c;", `
+		a = -(3 + 4);
+		b = !a;
+		c = ~0;
+	`)
+	if int64(lookupU(t, m, "a")) != -7 || lookupU(t, m, "b") != 0 ||
+		lookupU(t, m, "c") != ^uint64(0) {
+		t.Fatal("unary operators wrong")
+	}
+}
+
+func TestPrefixIncDecOnPointer(t *testing.T) {
+	m, _ := run(t, "", "unsigned long long* p; unsigned long long* q; long long d;", `
+		p = (unsigned long long*)(malloc(32));
+		q = p;
+		++q; ++q; --q;
+		d = q - p;
+	`)
+	if lookupU(t, m, "d") != 1 {
+		t.Fatalf("pointer ++/-- wrong: d = %d", lookupU(t, m, "d"))
+	}
+}

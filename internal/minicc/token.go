@@ -1,0 +1,176 @@
+// Package minicc implements a small C interpreter: the execution engine
+// behind DStress's virus programs. Templates written in the paper's
+// programming tool (package vpl) instantiate into C sources — global data
+// arrays, local declarations and a body of loops over volatile arrays — and
+// minicc runs them with every array/pointer access routed through the
+// simulated memory hierarchy, so a virus's data fill and access pattern
+// reach the DRAM model exactly as its C code describes.
+//
+// The supported subset covers what DRAM stress kernels need: `unsigned long
+// long` and `int` scalars, pointers and arrays of `unsigned long long`,
+// brace initializers, malloc/free, for/while/if/break/continue, the full C
+// expression grammar over integers (including bit operations), casts,
+// sizeof, and volatile qualifiers (accepted and ignored — all array traffic
+// is memory traffic here).
+package minicc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+var keywords = map[string]bool{
+	"unsigned": true, "long": true, "int": true, "volatile": true,
+	"for": true, "while": true, "if": true, "else": true, "break": true,
+	"continue": true, "sizeof": true, "return": true, "void": true,
+	"char": true, "const": true, "do": true,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a lexing, parsing or execution error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minicc: %s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// multi-character operators, longest first per leading byte.
+var punct2 = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+}
+
+// Lex tokenizes src.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start := Pos{line, col}
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, errf(start, "unterminated comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case isDigit(c):
+			pos := Pos{line, col}
+			j := i
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				j = i + 2
+				for j < n && isHexDigit(src[j]) {
+					j++
+				}
+			} else {
+				for j < n && isDigit(src[j]) {
+					j++
+				}
+			}
+			// Integer suffixes (ULL etc.).
+			for j < n && (src[j] == 'u' || src[j] == 'U' || src[j] == 'l' || src[j] == 'L') {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[i:j], Pos: pos})
+			advance(j - i)
+		case isIdentStart(c):
+			pos := Pos{line, col}
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Pos: pos})
+			advance(j - i)
+		default:
+			pos := Pos{line, col}
+			matched := ""
+			for _, op := range punct2 {
+				if len(src)-i >= len(op) && src[i:i+len(op)] == op {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				switch c {
+				case '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|',
+					'^', '~', '(', ')', '{', '}', '[', ']', ';', ',', '?', ':':
+					matched = string(c)
+				default:
+					return nil, errf(pos, "unexpected character %q", c)
+				}
+			}
+			toks = append(toks, Token{Kind: TokPunct, Text: matched, Pos: pos})
+			advance(len(matched))
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: Pos{line, col}})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,120 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	m.NominalVDD = 0
+	if m.Validate() == nil {
+		t.Fatal("zero nominal VDD accepted")
+	}
+	m = Default()
+	m.RefreshW = -1
+	if m.Validate() == nil {
+		t.Fatal("negative component accepted")
+	}
+}
+
+func TestNominalPower(t *testing.T) {
+	m := Default()
+	p, err := m.DIMM(m.NominalTR, m.NominalVDD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.FixedW + m.CoreW + m.RefreshW
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("nominal power %v, want %v", p, want)
+	}
+}
+
+func TestRefreshScaling(t *testing.T) {
+	m := Default()
+	p1, _ := m.DIMM(0.064, 1.5, 0)
+	p2, _ := m.DIMM(0.128, 1.5, 0)
+	// Doubling TREFP halves the refresh component.
+	if math.Abs((p1-p2)-m.RefreshW/2) > 1e-9 {
+		t.Fatalf("refresh scaling wrong: %v vs %v", p1, p2)
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	m := Default()
+	hi, _ := m.DIMM(0.064, 1.5, 0)
+	lo, _ := m.DIMM(0.064, 1.428, 0)
+	if lo >= hi {
+		t.Fatal("lower VDD did not reduce power")
+	}
+	vv := (1.428 / 1.5) * (1.428 / 1.5)
+	want := m.FixedW + (m.CoreW+m.RefreshW)*vv
+	if math.Abs(lo-want) > 1e-9 {
+		t.Fatalf("low-VDD power %v, want %v", lo, want)
+	}
+}
+
+func TestActivationPower(t *testing.T) {
+	m := Default()
+	idle, _ := m.DIMM(0.064, 1.5, 0)
+	busy, _ := m.DIMM(0.064, 1.5, 1e6)
+	if math.Abs((busy-idle)-m.ActNanoJ*1e-3) > 1e-9 {
+		t.Fatalf("activation power wrong: +%v W", busy-idle)
+	}
+}
+
+func TestInvalidOperatingPoint(t *testing.T) {
+	m := Default()
+	if _, err := m.DIMM(0, 1.5, 0); err == nil {
+		t.Fatal("zero TREFP accepted")
+	}
+	if _, err := m.DIMM(0.064, -1, 0); err == nil {
+		t.Fatal("negative VDD accepted")
+	}
+	if _, err := m.DIMM(0.064, 1.5, -5); err == nil {
+		t.Fatal("negative activation rate accepted")
+	}
+}
+
+func TestSystemRollup(t *testing.T) {
+	m := Default()
+	total := m.System([]float64{4, 4, 4, 4})
+	if math.Abs(total-(m.SystemBaseW+16)) > 1e-9 {
+		t.Fatalf("system power %v", total)
+	}
+}
+
+// TestPaperSavingsShape checks that running at a marginal refresh period
+// (~1 s) under relaxed VDD saves DRAM power in the paper's ballpark
+// (17.7 %) and system power around 8.6 %.
+func TestPaperSavingsShape(t *testing.T) {
+	m := Default()
+	nom, _ := m.DIMM(0.064, 1.5, 0)
+	rel, _ := m.DIMM(1.1, 1.428, 0)
+	dramSave := Savings(nom, rel)
+	if dramSave < 0.12 || dramSave > 0.24 {
+		t.Fatalf("DRAM savings %.1f%% outside [12%%,24%%] (paper: 17.7%%)",
+			dramSave*100)
+	}
+	sysSave := Savings(
+		m.System([]float64{nom, nom, nom, nom}),
+		m.System([]float64{rel, rel, rel, rel}))
+	if sysSave < 0.05 || sysSave > 0.13 {
+		t.Fatalf("system savings %.1f%% outside [5%%,13%%] (paper: 8.6%%)",
+			sysSave*100)
+	}
+	t.Logf("DRAM savings %.1f%%, system savings %.1f%%",
+		dramSave*100, sysSave*100)
+}
+
+func TestSavingsEdgeCases(t *testing.T) {
+	if Savings(0, 5) != 0 {
+		t.Fatal("zero baseline mishandled")
+	}
+	if Savings(10, 12) >= 0 {
+		t.Fatal("increase not negative")
+	}
+}

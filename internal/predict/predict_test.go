@@ -1,0 +1,196 @@
+package predict
+
+import (
+	"testing"
+
+	"dstress/internal/core"
+	"dstress/internal/server"
+	"dstress/internal/xrand"
+)
+
+const worstWord = 0x3333333333333333
+
+func testFramework(t testing.TB, seed uint64) *core.Framework {
+	t.Helper()
+	srv, err := server.New(server.DefaultConfig(16, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(srv, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestScanCoversAllDIMMs(t *testing.T) {
+	f := testFramework(t, 1)
+	obs, err := Scan(f, worstWord, DefaultScanPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != server.NumMCUs {
+		t.Fatalf("scan returned %d observations", len(obs))
+	}
+	nonzero := 0
+	for _, o := range obs {
+		if o.MeanCE > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 2 {
+		t.Fatalf("only %d DIMMs show CEs under the stress scan", nonzero)
+	}
+	if f.MCU != server.MCU2 {
+		t.Fatal("scan did not restore the framework's MCU selection")
+	}
+}
+
+func TestHealthyFleetNotFlagged(t *testing.T) {
+	f := testFramework(t, 2)
+	a := NewAnalyzer()
+	// DIMM strengths differ by design; within one fleet scan that is
+	// normal variation, not a defect. Use a relaxed fleet threshold
+	// matching the configured strength spread.
+	a.FleetZThreshold = 6
+	for scan := 0; scan < 3; scan++ {
+		obs, err := Scan(f, worstWord, DefaultScanPoint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts, err := a.Record(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range verdicts {
+			if v.Flagged {
+				t.Fatalf("healthy DIMM%d flagged at scan %d: %s",
+					v.MCU, scan, v.Reason)
+			}
+		}
+	}
+}
+
+func TestDegradingDIMMFlagged(t *testing.T) {
+	f := testFramework(t, 3)
+	a := NewAnalyzer()
+	a.FleetZThreshold = 1e9 // isolate the trend detector
+	var flaggedAt int = -1
+	for scan := 0; scan < 6; scan++ {
+		obs, err := Scan(f, worstWord, DefaultScanPoint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts, err := a.Record(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range verdicts {
+			if v.MCU == server.MCU2 && v.Flagged && flaggedAt < 0 {
+				flaggedAt = scan
+			}
+			if v.MCU != server.MCU2 && v.Flagged {
+				t.Fatalf("stable DIMM%d flagged: %s", v.MCU, v.Reason)
+			}
+		}
+		// DIMM2 wears between scans: retention drops 12% per interval.
+		if err := f.Srv.MCU(server.MCU2).Device().Age(0.88); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if flaggedAt < 0 {
+		t.Fatal("degrading DIMM2 never flagged")
+	}
+	t.Logf("degrading DIMM2 flagged at scan %d", flaggedAt)
+	h := a.History(server.MCU2)
+	if len(h) != 6 || h[len(h)-1] <= h[0] {
+		t.Fatalf("history does not show degradation: %v", h)
+	}
+}
+
+func TestUEsFlagImmediately(t *testing.T) {
+	a := NewAnalyzer()
+	verdicts, err := a.Record([]Observation{
+		{MCU: 0, MeanCE: 10},
+		{MCU: 1, MeanCE: 11, UEFrac: 0.2},
+		{MCU: 2, MeanCE: 9},
+		{MCU: 3, MeanCE: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if (v.MCU == 1) != v.Flagged {
+			t.Fatalf("verdict wrong for DIMM%d: %+v", v.MCU, v)
+		}
+	}
+}
+
+func TestFleetOutlierFlagged(t *testing.T) {
+	a := NewAnalyzer()
+	verdicts, err := a.Record([]Observation{
+		{MCU: 0, MeanCE: 10},
+		{MCU: 1, MeanCE: 11},
+		{MCU: 2, MeanCE: 9},
+		{MCU: 3, MeanCE: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if (v.MCU == 3) != v.Flagged {
+			t.Fatalf("verdict wrong for DIMM%d: %+v", v.MCU, v)
+		}
+		if v.MCU == 3 && v.ZScore < 3 {
+			t.Fatalf("outlier z-score %.1f too low", v.ZScore)
+		}
+	}
+}
+
+func TestAnalyzerValidation(t *testing.T) {
+	a := NewAnalyzer()
+	if _, err := a.Record(nil); err == nil {
+		t.Fatal("empty scan accepted")
+	}
+}
+
+func TestAgeValidation(t *testing.T) {
+	f := testFramework(t, 4)
+	dev := f.Srv.MCU(0).Device()
+	if err := dev.Age(0); err == nil {
+		t.Fatal("Age(0) accepted")
+	}
+	if err := dev.Age(1.5); err == nil {
+		t.Fatal("Age(1.5) accepted")
+	}
+	before := dev.WeakCells()[0].Tau0
+	if err := dev.Age(0.5); err != nil {
+		t.Fatal(err)
+	}
+	after := dev.WeakCells()[0].Tau0
+	if after != before*0.5 {
+		t.Fatalf("aging not applied: %v -> %v", before, after)
+	}
+}
+
+func TestTrendEstimator(t *testing.T) {
+	a := NewAnalyzer()
+	// Feed a synthetic rising series directly.
+	for _, ce := range []float64{10, 12, 14, 16} {
+		if _, err := a.Record([]Observation{{MCU: 0, MeanCE: ce},
+			{MCU: 1, MeanCE: 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verdicts, err := a.Record([]Observation{{MCU: 0, MeanCE: 18},
+		{MCU: 1, MeanCE: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdicts[0].Flagged {
+		t.Fatalf("rising trend not flagged: %+v", verdicts[0])
+	}
+	if verdicts[1].Flagged {
+		t.Fatalf("flat series flagged: %+v", verdicts[1])
+	}
+}

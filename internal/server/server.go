@@ -1,0 +1,277 @@
+// Package server assembles the experimental platform of the paper: an
+// X-Gene-2-like machine with four memory controller units (MCUs) grouped
+// into two memory controller bridges (MCBs), one DDR3 DIMM per MCU, a
+// thermal testbed heating each DIMM/rank, on-board power sensing, and ECC
+// error logging. As in the paper's modified firmware, hardware interleaving
+// is disabled: kernel data lives in MCU0 and experiment data is placed
+// explicitly in the MCUs of the relaxed domain (MCU2/MCU3, i.e. MCB1), so
+// the machine keeps running even when the relaxed DIMMs misbehave.
+package server
+
+import (
+	"fmt"
+
+	"dstress/internal/dram"
+	"dstress/internal/memctl"
+	"dstress/internal/power"
+	"dstress/internal/thermal"
+	"dstress/internal/xrand"
+)
+
+// NumMCUs and the MCU/MCB topology of the platform.
+const (
+	NumMCUs = 4
+	// RelaxedMCUs are the controllers of MCB1 whose DIMMs run under
+	// experimental (relaxed) parameters. DIMM2 and DIMM3 of the paper.
+	MCU2 = 2
+	MCU3 = 3
+)
+
+// Config describes the whole server.
+type Config struct {
+	RowsPerBank int
+	// RowBytes overrides the 8-KByte row size (0 keeps the default). Small
+	// rows shrink the block-pattern search spaces for tests.
+	RowBytes int
+	// Seeds give each DIMM its own defect map.
+	Seeds [NumMCUs]uint64
+	// Strengths model DIMM-to-DIMM manufacturing variation; 0 means 1.0.
+	Strengths [NumMCUs]float64
+	AmbientC  float64
+	Cache     memctl.CacheConfig
+	Power     power.Model
+}
+
+// DefaultConfig returns a server with four distinct DIMMs. The strength
+// spread reproduces the orders-of-magnitude DIMM-to-DIMM error variation of
+// the paper's Fig 1b.
+func DefaultConfig(rowsPerBank int, seed uint64) Config {
+	return Config{
+		RowsPerBank: rowsPerBank,
+		Seeds: [NumMCUs]uint64{seed*4 + 1, seed*4 + 2, seed*4 + 3,
+			seed*4 + 4},
+		Strengths: [NumMCUs]float64{1.0, 1.6, 0.85, 2.0},
+		AmbientC:  25,
+		Cache:     memctl.DefaultCacheConfig(),
+		Power:     power.Default(),
+	}
+}
+
+// Server is the assembled platform.
+type Server struct {
+	cfg     Config
+	mcus    [NumMCUs]*memctl.Controller
+	testbed *thermal.Testbed
+	pwr     power.Model
+}
+
+// New builds the server: one device + controller per MCU, a testbed channel
+// per DIMM/rank, everything at nominal operating parameters and ambient
+// temperature.
+func New(cfg Config) (*Server, error) {
+	if cfg.RowsPerBank <= 0 {
+		return nil, fmt.Errorf("server: RowsPerBank = %d", cfg.RowsPerBank)
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, pwr: cfg.Power}
+	for i := 0; i < NumMCUs; i++ {
+		dcfg := dram.DefaultConfig(cfg.RowsPerBank, cfg.Seeds[i])
+		if cfg.RowBytes != 0 {
+			dcfg.Geometry.RowBytes = cfg.RowBytes
+		}
+		dcfg.StrengthScale = cfg.Strengths[i]
+		dev, err := dram.NewDevice(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: DIMM%d: %w", i, err)
+		}
+		mcu, err := memctl.NewController(memctl.Config{Cache: cfg.Cache}, dev)
+		if err != nil {
+			return nil, fmt.Errorf("server: MCU%d: %w", i, err)
+		}
+		s.mcus[i] = mcu
+	}
+	ranks := s.mcus[0].Device().Geometry().Ranks
+	tb, err := thermal.NewTestbed(NumMCUs, ranks, cfg.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	s.testbed = tb
+	return s, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MCU returns controller i (0..3).
+func (s *Server) MCU(i int) *memctl.Controller {
+	if i < 0 || i >= NumMCUs {
+		panic(fmt.Sprintf("server: MCU(%d)", i))
+	}
+	return s.mcus[i]
+}
+
+// Testbed exposes the thermal rig.
+func (s *Server) Testbed() *thermal.Testbed { return s.testbed }
+
+// SetRelaxedParams programs the refresh period of both relaxed-domain MCUs
+// and the shared MCB1 supply voltage. MCU0/MCU1 stay at nominal settings,
+// exactly as the paper's memory configuration requires.
+func (s *Server) SetRelaxedParams(trefp, vdd float64) error {
+	for _, i := range []int{MCU2, MCU3} {
+		if err := s.mcus[i].SetTREFP(trefp); err != nil {
+			return err
+		}
+		if err := s.mcus[i].SetVDD(vdd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetAllRelaxed programs every MCU — including the nominal domain — to the
+// given parameters. This is the characterization mode used for the
+// workload-variation study (the paper's Fig 1b observes all four DIMMs
+// under relaxed parameters); the stress searches use SetRelaxedParams so
+// the kernel's domain stays safe.
+func (s *Server) SetAllRelaxed(trefp, vdd float64) error {
+	for i := range s.mcus {
+		if err := s.mcus[i].SetTREFP(trefp); err != nil {
+			return err
+		}
+		if err := s.mcus[i].SetVDD(vdd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetTemperature drives every testbed channel to tempC and lets the PID
+// loops settle (up to two hours of simulated time, 0.5 °C tolerance).
+func (s *Server) SetTemperature(tempC float64) error {
+	s.testbed.SetTargetAll(tempC)
+	if !s.testbed.Settle(7200, 0.5) {
+		return fmt.Errorf("server: testbed failed to settle at %.1f°C", tempC)
+	}
+	return nil
+}
+
+// DIMMTemp returns the measured temperature of a DIMM (rank 0 sensor; the
+// experiments heat both ranks identically).
+func (s *Server) DIMMTemp(mcu int) float64 {
+	t, err := s.testbed.Temp(mcu, 0)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// EvalResult summarises the ECC log of an averaged measurement.
+type EvalResult struct {
+	MeanCE   float64
+	MeanSDC  float64
+	UEFrac   float64 // fraction of runs that hit an uncorrectable error
+	CEByRank map[int]float64
+}
+
+// Evaluate runs the retention evaluation of one MCU's DIMM `runs` times
+// under its current operating parameters, the DIMM's present temperature
+// and the activation rates accumulated by the controller, and averages the
+// results — the paper's ten-run measurement protocol.
+func (s *Server) Evaluate(mcu, runs int, rng *xrand.Rand) (EvalResult, error) {
+	if runs <= 0 {
+		return EvalResult{}, fmt.Errorf("server: Evaluate runs = %d", runs)
+	}
+	ctl := s.MCU(mcu)
+	// Each rank has its own heater channel; feed the per-rank sensor
+	// readings into the retention model.
+	tempByRank := map[int]float64{}
+	for rank := 0; rank < ctl.Device().Geometry().Ranks; rank++ {
+		t, err := s.testbed.Temp(mcu, rank)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		tempByRank[rank] = t
+	}
+	p := dram.RunParams{
+		TREFP:         ctl.TREFP(),
+		TempC:         s.DIMMTemp(mcu),
+		TempByRank:    tempByRank,
+		VDD:           ctl.VDD(),
+		ActsPerWindow: ctl.ActsPerWindow(),
+	}
+	res := EvalResult{CEByRank: make(map[int]float64)}
+	ues := 0
+	for i := 0; i < runs; i++ {
+		p.RNG = rng.Split()
+		r, err := ctl.Device().Run(p)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		res.MeanCE += float64(r.CE)
+		res.MeanSDC += float64(r.SDC)
+		if r.HasUE() {
+			ues++
+		}
+		for rank, n := range r.CEByRank {
+			res.CEByRank[rank] += float64(n)
+		}
+	}
+	n := float64(runs)
+	res.MeanCE /= n
+	res.MeanSDC /= n
+	res.UEFrac = float64(ues) / n
+	for rank := range res.CEByRank {
+		res.CEByRank[rank] /= n
+	}
+	return res, nil
+}
+
+// DRAMPower returns the current power draw of each DIMM, using each MCU's
+// operating point and the activation rate implied by its counters.
+func (s *Server) DRAMPower() ([NumMCUs]float64, error) {
+	var out [NumMCUs]float64
+	for i, ctl := range s.mcus {
+		actsPerSec := 0.0
+		if ns := ctl.ElapsedNs(); ns > 0 {
+			actsPerSec = float64(ctl.Activations()) / (float64(ns) * 1e-9)
+		}
+		p, err := s.pwr.DIMM(ctl.TREFP(), ctl.VDD(), actsPerSec)
+		if err != nil {
+			return out, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// SystemPower returns total system power.
+func (s *Server) SystemPower() (float64, error) {
+	dimms, err := s.DRAMPower()
+	if err != nil {
+		return 0, err
+	}
+	return s.pwr.System(dimms[:]), nil
+}
+
+// BootKernel fills the first megabyte of MCU0 with a pseudo-random image,
+// standing in for the kernel data the paper pins to the nominal domain.
+func (s *Server) BootKernel(rng *xrand.Rand) error {
+	ctl := s.mcus[0]
+	geom := ctl.Device().Geometry()
+	limit := int64(1 << 20)
+	if t := geom.TotalBytes(); t < limit {
+		limit = t
+	}
+	for a := int64(0); a < limit; a += 8 {
+		ctl.Device().WriteWord(geom.Map(a), rng.Uint64())
+	}
+	return nil
+}

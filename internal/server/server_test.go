@@ -1,0 +1,260 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"dstress/internal/addrmap"
+	"dstress/internal/dram"
+	"dstress/internal/memctl"
+	"dstress/internal/xrand"
+)
+
+func testServer(t testing.TB) *Server {
+	t.Helper()
+	s, err := New(DefaultConfig(32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fillMCU writes a uniform pattern over an MCU's whole address space.
+func fillMCU(s *Server, mcu int, word uint64) {
+	ctl := s.MCU(mcu)
+	g := ctl.Device().Geometry()
+	for a := int64(0); a < g.TotalBytes(); a += 8 {
+		ctl.Device().WriteWord(g.Map(a), word)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig(32, 1)
+	cfg.RowsPerBank = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	cfg = DefaultConfig(32, 1)
+	cfg.Power.NominalTR = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid power model accepted")
+	}
+	cfg = DefaultConfig(32, 1)
+	cfg.Cache.Ways = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid cache accepted")
+	}
+}
+
+func TestMCUAccessorsAndBounds(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < NumMCUs; i++ {
+		if s.MCU(i) == nil {
+			t.Fatalf("MCU %d nil", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MCU(4) did not panic")
+		}
+	}()
+	s.MCU(NumMCUs)
+}
+
+func TestDIMMsDiffer(t *testing.T) {
+	s := testServer(t)
+	a := s.MCU(MCU2).Device().WeakCells()
+	b := s.MCU(MCU3).Device().WeakCells()
+	same := 0
+	for i := range a {
+		if i < len(b) && a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("DIMM2 and DIMM3 share a defect map")
+	}
+}
+
+func TestSetRelaxedParamsOnlyTouchesMCB1(t *testing.T) {
+	s := testServer(t)
+	if err := s.SetRelaxedParams(2.283, 1.428); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{MCU2, MCU3} {
+		if s.MCU(i).TREFP() != 2.283 || s.MCU(i).VDD() != 1.428 {
+			t.Fatalf("MCU%d params not applied", i)
+		}
+	}
+	for _, i := range []int{0, 1} {
+		if s.MCU(i).TREFP() != memctl.MinTREFP || s.MCU(i).VDD() != memctl.MaxVDD {
+			t.Fatalf("nominal MCU%d was modified", i)
+		}
+	}
+	if err := s.SetRelaxedParams(5.0, 1.428); err == nil {
+		t.Fatal("out-of-range TREFP accepted")
+	}
+}
+
+func TestSetTemperature(t *testing.T) {
+	s := testServer(t)
+	if err := s.SetTemperature(55); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumMCUs; i++ {
+		if math.Abs(s.DIMMTemp(i)-55) > 0.5 {
+			t.Fatalf("DIMM%d at %v", i, s.DIMMTemp(i))
+		}
+	}
+	if err := s.SetTemperature(10); err == nil {
+		t.Fatal("sub-ambient target settled")
+	}
+}
+
+func TestEvaluateCountsErrors(t *testing.T) {
+	s := testServer(t)
+	if err := s.SetTemperature(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRelaxedParams(2.283, 1.428); err != nil {
+		t.Fatal(err)
+	}
+	fillMCU(s, MCU2, 0x3333333333333333)
+	res, err := s.Evaluate(MCU2, 10, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCE <= 0 {
+		t.Fatal("no CEs under relaxed params at 60°C with worst fill")
+	}
+	var sum float64
+	for _, v := range res.CEByRank {
+		sum += v
+	}
+	if math.Abs(sum-res.MeanCE) > 1e-9 {
+		t.Fatalf("per-rank CEs %v do not sum to %v", sum, res.MeanCE)
+	}
+	// The nominal-domain DIMM0 sees no errors even with data present.
+	fillMCU(s, 0, 0x3333333333333333)
+	res0, err := s.Evaluate(0, 10, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.MeanCE > res.MeanCE/20 {
+		t.Fatalf("nominal DIMM0 produced %.2f CEs vs relaxed %.2f",
+			res0.MeanCE, res.MeanCE)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	s := testServer(t)
+	if _, err := s.Evaluate(MCU2, 0, xrand.New(1)); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestStrongDIMMHasFewerErrors(t *testing.T) {
+	s := testServer(t)
+	if err := s.SetTemperature(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRelaxedParams(2.283, 1.428); err != nil {
+		t.Fatal(err)
+	}
+	fillMCU(s, MCU2, 0x3333333333333333)
+	fillMCU(s, MCU3, 0x3333333333333333)
+	weak, err := s.Evaluate(MCU2, 10, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := s.Evaluate(MCU3, 10, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DIMM3 is configured ~4x stronger in retention: several times fewer
+	// CEs under identical stress.
+	if strong.MeanCE*2.5 > weak.MeanCE {
+		t.Fatalf("DIMM variation missing: weak %.1f vs strong %.1f",
+			weak.MeanCE, strong.MeanCE)
+	}
+}
+
+func TestPowerReadings(t *testing.T) {
+	s := testServer(t)
+	nomDimms, err := s.DRAMPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomSys, err := s.SystemPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRelaxedParams(2.283, 1.428); err != nil {
+		t.Fatal(err)
+	}
+	relDimms, err := s.DRAMPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relSys, err := s.SystemPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDimms[MCU2] >= nomDimms[MCU2] {
+		t.Fatal("relaxed params did not reduce DIMM2 power")
+	}
+	if relDimms[0] != nomDimms[0] {
+		t.Fatal("nominal DIMM0 power changed")
+	}
+	if relSys >= nomSys {
+		t.Fatal("system power did not drop")
+	}
+}
+
+func TestBootKernelFillsMCU0(t *testing.T) {
+	s := testServer(t)
+	if err := s.BootKernel(xrand.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	dev := s.MCU(0).Device()
+	if !dev.RowWritten(dram.RowKey{}) {
+		t.Fatal("kernel image missing from MCU0")
+	}
+	g := dev.Geometry()
+	if _, ok := dev.ReadWord(g.Map(0)); !ok {
+		t.Fatal("first kernel word unwritten")
+	}
+	if v, _ := dev.ReadWord(g.Map(0)); v == 0 {
+		if w, _ := dev.ReadWord(g.Map(8)); w == 0 {
+			t.Fatal("kernel image looks zeroed, expected pseudo-random data")
+		}
+	}
+	_ = addrmap.Loc{}
+}
+
+// TestPerRankHeating drives one rank's heater hotter through the testbed
+// and checks the rank split in the ECC log.
+func TestPerRankHeating(t *testing.T) {
+	s := testServer(t)
+	if err := s.SetRelaxedParams(2.283, 1.428); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 of DIMM2 at 66°C, rank 1 at 55°C.
+	if err := s.Testbed().SetTarget(MCU2, 0, 66); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Testbed().SetTarget(MCU2, 1, 55); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3600; i++ {
+		s.Testbed().Step(2)
+	}
+	fillMCU(s, MCU2, 0x3333333333333333)
+	res, err := s.Evaluate(MCU2, 10, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CEByRank[0] <= res.CEByRank[1] {
+		t.Fatalf("hot rank not above cool rank: %v", res.CEByRank)
+	}
+}

@@ -1,0 +1,31 @@
+package similarity_test
+
+import (
+	"fmt"
+
+	"dstress/internal/bitvec"
+	"dstress/internal/similarity"
+)
+
+// The Sokal–Michener simple matching function is the paper's convergence
+// metric for binary chromosomes: the fraction of positions two patterns
+// agree on.
+func ExampleSokalMichener() {
+	a := bitvec.MustParse("11001100")
+	b := bitvec.MustParse("11001111")
+	s, _ := similarity.SokalMichener(a, b)
+	fmt.Printf("SMF = %.2f\n", s)
+	// Output:
+	// SMF = 0.75
+}
+
+// The weighted Jaccard similarity compares integer chromosomes — the
+// access-coefficient vectors of the paper's second template.
+func ExampleWeightedJaccardInts() {
+	a := []int{4, 8, 0, 20}
+	b := []int{4, 4, 0, 20}
+	s, _ := similarity.WeightedJaccardInts(a, b)
+	fmt.Printf("JW = %.2f\n", s)
+	// Output:
+	// JW = 0.88
+}

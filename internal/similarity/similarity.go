@@ -1,0 +1,158 @@
+// Package similarity implements the chromosome-similarity functions DStress
+// uses as its GA convergence criteria: the Sokal & Michener simple matching
+// function for binary chromosomes, built on Operational Taxonomic Unit
+// (OTU) contingency tables, and the weighted Jaccard similarity for
+// chromosomes of real/integer features (the memory-access coefficient
+// vectors). The search stops when the mean pairwise similarity of the final
+// population exceeds a threshold (0.85 in the paper).
+package similarity
+
+import (
+	"fmt"
+
+	"dstress/internal/bitvec"
+)
+
+// OTU is the 2x2 contingency table of two binary feature vectors:
+//
+//	           y_i = 1   y_i = 0
+//	x_i = 1       A         C
+//	x_i = 0       B         D
+//
+// A counts positions where both features are 1, D where both are 0, and B/C
+// the mismatches.
+type OTU struct {
+	A, B, C, D int
+}
+
+// OTUOf builds the contingency table of two equal-length bit vectors.
+func OTUOf(x, y *bitvec.Vec) (OTU, error) {
+	if x.Len() != y.Len() {
+		return OTU{}, fmt.Errorf("similarity: length mismatch %d vs %d",
+			x.Len(), y.Len())
+	}
+	var o OTU
+	for i := 0; i < x.Len(); i++ {
+		switch {
+		case x.Get(i) && y.Get(i):
+			o.A++
+		case !x.Get(i) && y.Get(i):
+			o.B++
+		case x.Get(i) && !y.Get(i):
+			o.C++
+		default:
+			o.D++
+		}
+	}
+	return o, nil
+}
+
+// N returns the total number of features.
+func (o OTU) N() int { return o.A + o.B + o.C + o.D }
+
+// SokalMichener returns (A+D)/(A+B+C+D): the fraction of matching binary
+// features. It is 1 for identical vectors and 0 for complements.
+func (o OTU) SokalMichener() float64 {
+	n := o.N()
+	if n == 0 {
+		return 1 // two empty vectors match trivially
+	}
+	return float64(o.A+o.D) / float64(n)
+}
+
+// SokalMichener computes the simple matching similarity of two bit vectors
+// directly from their packed words, avoiding the per-bit OTU walk.
+func SokalMichener(x, y *bitvec.Vec) (float64, error) {
+	if x.Len() != y.Len() {
+		return 0, fmt.Errorf("similarity: length mismatch %d vs %d",
+			x.Len(), y.Len())
+	}
+	if x.Len() == 0 {
+		return 1, nil
+	}
+	return float64(x.MatchCount(y)) / float64(x.Len()), nil
+}
+
+// WeightedJaccard returns Σ min(x_i,y_i) / Σ max(x_i,y_i) for two
+// non-negative real vectors. Two identical vectors score 1; the score
+// decreases as the vectors diverge. A pair of all-zero vectors scores 1.
+func WeightedJaccard(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("similarity: length mismatch %d vs %d",
+			len(x), len(y))
+	}
+	var num, den float64
+	for i := range x {
+		if x[i] < 0 || y[i] < 0 {
+			return 0, fmt.Errorf("similarity: negative feature at %d", i)
+		}
+		if x[i] < y[i] {
+			num += x[i]
+			den += y[i]
+		} else {
+			num += y[i]
+			den += x[i]
+		}
+	}
+	if den == 0 {
+		return 1, nil
+	}
+	return num / den, nil
+}
+
+// WeightedJaccardInts is WeightedJaccard over integer features, as used for
+// the access-coefficient chromosomes.
+func WeightedJaccardInts(x, y []int) (float64, error) {
+	xf := make([]float64, len(x))
+	yf := make([]float64, len(y))
+	for i := range x {
+		xf[i] = float64(x[i])
+	}
+	for i := range y {
+		yf[i] = float64(y[i])
+	}
+	return WeightedJaccard(xf, yf)
+}
+
+// MeanPairwiseBits returns the average Sokal–Michener similarity over all
+// unordered pairs of the given population. A population of fewer than two
+// members is trivially converged (similarity 1).
+func MeanPairwiseBits(pop []*bitvec.Vec) (float64, error) {
+	if len(pop) < 2 {
+		return 1, nil
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(pop); i++ {
+		for j := i + 1; j < len(pop); j++ {
+			s, err := SokalMichener(pop[i], pop[j])
+			if err != nil {
+				return 0, err
+			}
+			sum += s
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}
+
+// MeanPairwiseInts returns the average weighted Jaccard similarity over all
+// unordered pairs of integer-vector chromosomes.
+func MeanPairwiseInts(pop [][]int) (float64, error) {
+	if len(pop) < 2 {
+		return 1, nil
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(pop); i++ {
+		for j := i + 1; j < len(pop); j++ {
+			s, err := WeightedJaccardInts(pop[i], pop[j])
+			if err != nil {
+				return 0, err
+			}
+			sum += s
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}

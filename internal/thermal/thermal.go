@@ -1,0 +1,232 @@
+// Package thermal models the paper's custom temperature-controlled testbed:
+// resistive heating elements fitted to each DIMM and rank, driven through
+// solid-state relays by closed-loop PID controllers (the physical testbed
+// uses four Carel PID controllers and a Raspberry Pi board). The simulator
+// needs the same capability the paper's experiments rely on — holding every
+// DIMM/rank at a chosen set-point between 50 °C and 70 °C.
+package thermal
+
+import "fmt"
+
+// Element is a heating element attached to one DIMM rank, together with the
+// rank's thermal plant. The plant is first-order: the temperature relaxes
+// toward ambient plus a contribution proportional to heater power.
+type Element struct {
+	AmbientC   float64 // ambient temperature (°C)
+	GainCPerW  float64 // steady-state °C above ambient per watt
+	TimeConstS float64 // thermal time constant (seconds)
+	MaxPowerW  float64 // relay/heater power limit
+
+	tempC  float64
+	powerW float64
+}
+
+// NewElement returns an element at ambient temperature.
+func NewElement(ambientC float64) *Element {
+	return &Element{
+		AmbientC:   ambientC,
+		GainCPerW:  1.1,
+		TimeConstS: 90,
+		MaxPowerW:  60,
+		tempC:      ambientC,
+	}
+}
+
+// SetPower commands the heater, clamped to [0, MaxPowerW].
+func (e *Element) SetPower(w float64) {
+	if w < 0 {
+		w = 0
+	}
+	if w > e.MaxPowerW {
+		w = e.MaxPowerW
+	}
+	e.powerW = w
+}
+
+// Power returns the commanded heater power.
+func (e *Element) Power() float64 { return e.powerW }
+
+// Temp returns the current rank temperature.
+func (e *Element) Temp() float64 { return e.tempC }
+
+// Step advances the plant by dt seconds.
+func (e *Element) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	target := e.AmbientC + e.GainCPerW*e.powerW
+	// Exact first-order response over dt would need an exp; forward Euler
+	// with sub-stepping is sufficient and keeps the model dependency-free.
+	steps := int(dt/1.0) + 1
+	h := dt / float64(steps)
+	for i := 0; i < steps; i++ {
+		e.tempC += (target - e.tempC) * h / e.TimeConstS
+	}
+}
+
+// PID is a discrete PID controller with output clamping and integral
+// anti-windup, mirroring the testbed's closed-loop controllers.
+type PID struct {
+	Kp, Ki, Kd float64
+	OutMin     float64
+	OutMax     float64
+
+	setpoint float64
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// NewPID returns a controller tuned for the heating elements above.
+func NewPID() *PID {
+	return &PID{Kp: 4.0, Ki: 0.12, Kd: 2.0, OutMin: 0, OutMax: 60}
+}
+
+// SetPoint sets the target value.
+func (p *PID) SetPoint(v float64) { p.setpoint = v }
+
+// SetPointValue returns the current target.
+func (p *PID) SetPointValue() float64 { return p.setpoint }
+
+// Reset clears the controller state.
+func (p *PID) Reset() {
+	p.integral, p.prevErr, p.primed = 0, 0, false
+}
+
+// Update computes the next output for a measurement taken dt seconds after
+// the previous one.
+func (p *PID) Update(measured, dt float64) float64 {
+	if dt <= 0 {
+		return clamp(p.Kp*(p.setpoint-measured), p.OutMin, p.OutMax)
+	}
+	err := p.setpoint - measured
+	deriv := 0.0
+	if p.primed {
+		deriv = (err - p.prevErr) / dt
+	}
+	p.prevErr = err
+	p.primed = true
+
+	// Tentative integral with anti-windup: only integrate when the output
+	// is not saturated in the direction of the error.
+	newIntegral := p.integral + err*dt
+	out := p.Kp*err + p.Ki*newIntegral + p.Kd*deriv
+	if out > p.OutMax {
+		out = p.OutMax
+	} else if out < p.OutMin {
+		out = p.OutMin
+	} else {
+		p.integral = newIntegral
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Channel couples one PID loop to one heating element.
+type Channel struct {
+	Element *Element
+	PID     *PID
+}
+
+// Testbed is the whole rig: one channel per DIMM and rank.
+type Testbed struct {
+	dimms, ranks int
+	channels     []Channel
+}
+
+// NewTestbed builds a testbed for the given DIMM/rank counts, all at the
+// given ambient temperature.
+func NewTestbed(dimms, ranks int, ambientC float64) (*Testbed, error) {
+	if dimms <= 0 || ranks <= 0 {
+		return nil, fmt.Errorf("thermal: invalid testbed %dx%d", dimms, ranks)
+	}
+	tb := &Testbed{dimms: dimms, ranks: ranks}
+	for i := 0; i < dimms*ranks; i++ {
+		tb.channels = append(tb.channels, Channel{
+			Element: NewElement(ambientC),
+			PID:     NewPID(),
+		})
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) index(dimm, rank int) (int, error) {
+	if dimm < 0 || dimm >= tb.dimms || rank < 0 || rank >= tb.ranks {
+		return 0, fmt.Errorf("thermal: no channel for DIMM%d/rank%d", dimm, rank)
+	}
+	return dimm*tb.ranks + rank, nil
+}
+
+// SetTarget commands one channel's set-point.
+func (tb *Testbed) SetTarget(dimm, rank int, tempC float64) error {
+	i, err := tb.index(dimm, rank)
+	if err != nil {
+		return err
+	}
+	tb.channels[i].PID.SetPoint(tempC)
+	return nil
+}
+
+// SetTargetAll commands every channel to the same set-point.
+func (tb *Testbed) SetTargetAll(tempC float64) {
+	for i := range tb.channels {
+		tb.channels[i].PID.SetPoint(tempC)
+	}
+}
+
+// Temp reads one channel's temperature sensor.
+func (tb *Testbed) Temp(dimm, rank int) (float64, error) {
+	i, err := tb.index(dimm, rank)
+	if err != nil {
+		return 0, err
+	}
+	return tb.channels[i].Element.Temp(), nil
+}
+
+// Step advances all control loops and plants by dt seconds.
+func (tb *Testbed) Step(dt float64) {
+	for i := range tb.channels {
+		ch := &tb.channels[i]
+		ch.Element.SetPower(ch.PID.Update(ch.Element.Temp(), dt))
+		ch.Element.Step(dt)
+	}
+}
+
+// Settle runs the loops until every channel is within tol of its set-point,
+// or until maxSeconds of simulated time elapse. It reports whether all
+// channels settled. Channels whose set-point is below ambient can never
+// settle (the rig only heats) and cause a false return.
+func (tb *Testbed) Settle(maxSeconds, tol float64) bool {
+	const dt = 2.0
+	for elapsed := 0.0; elapsed < maxSeconds; elapsed += dt {
+		tb.Step(dt)
+		all := true
+		for i := range tb.channels {
+			ch := &tb.channels[i]
+			if abs(ch.Element.Temp()-ch.PID.SetPointValue()) > tol {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,187 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElementHeatsTowardTarget(t *testing.T) {
+	e := NewElement(25)
+	e.SetPower(30)
+	e.Step(600)
+	want := 25 + 1.1*30
+	if math.Abs(e.Temp()-want) > 2 {
+		t.Fatalf("after 600s temp %v, want ~%v", e.Temp(), want)
+	}
+}
+
+func TestElementCoolsWithoutPower(t *testing.T) {
+	e := NewElement(25)
+	e.SetPower(40)
+	e.Step(600)
+	hot := e.Temp()
+	e.SetPower(0)
+	e.Step(600)
+	if e.Temp() >= hot {
+		t.Fatal("element did not cool")
+	}
+	if math.Abs(e.Temp()-25) > 2 {
+		t.Fatalf("did not return to ambient: %v", e.Temp())
+	}
+}
+
+func TestElementPowerClamped(t *testing.T) {
+	e := NewElement(25)
+	e.SetPower(-5)
+	if e.Power() != 0 {
+		t.Fatal("negative power not clamped")
+	}
+	e.SetPower(1e6)
+	if e.Power() != e.MaxPowerW {
+		t.Fatal("excess power not clamped")
+	}
+}
+
+func TestElementZeroStepNoop(t *testing.T) {
+	e := NewElement(25)
+	e.SetPower(50)
+	e.Step(0)
+	e.Step(-1)
+	if e.Temp() != 25 {
+		t.Fatal("zero/negative step changed temperature")
+	}
+}
+
+func TestPIDReachesSetpoint(t *testing.T) {
+	e := NewElement(25)
+	p := NewPID()
+	p.SetPoint(60)
+	const dt = 2.0
+	for i := 0; i < 1500; i++ {
+		e.SetPower(p.Update(e.Temp(), dt))
+		e.Step(dt)
+	}
+	if math.Abs(e.Temp()-60) > 0.5 {
+		t.Fatalf("PID settled at %v, want 60", e.Temp())
+	}
+}
+
+func TestPIDOutputBounds(t *testing.T) {
+	p := NewPID()
+	p.SetPoint(1000)
+	out := p.Update(20, 1)
+	if out != p.OutMax {
+		t.Fatalf("output %v not clamped to max %v", out, p.OutMax)
+	}
+	p.SetPoint(-1000)
+	out = p.Update(20, 1)
+	if out != p.OutMin {
+		t.Fatalf("output %v not clamped to min %v", out, p.OutMin)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	p := NewPID()
+	p.SetPoint(1000) // forces saturation
+	for i := 0; i < 100; i++ {
+		p.Update(20, 1)
+	}
+	if p.integral > 1e4 {
+		t.Fatalf("integral wound up to %v", p.integral)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	p := NewPID()
+	p.SetPoint(50)
+	p.Update(20, 1)
+	p.Reset()
+	if p.integral != 0 || p.primed {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestPIDZeroDt(t *testing.T) {
+	p := NewPID()
+	p.SetPoint(30)
+	out := p.Update(25, 0)
+	if out < p.OutMin || out > p.OutMax {
+		t.Fatalf("zero-dt output %v out of bounds", out)
+	}
+}
+
+func TestTestbedValidation(t *testing.T) {
+	if _, err := NewTestbed(0, 2, 25); err == nil {
+		t.Fatal("invalid testbed accepted")
+	}
+	tb, err := NewTestbed(4, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetTarget(4, 0, 50); err == nil {
+		t.Fatal("out-of-range DIMM accepted")
+	}
+	if _, err := tb.Temp(0, 2); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestTestbedSettlesAllChannels(t *testing.T) {
+	tb, err := NewTestbed(4, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.SetTargetAll(55)
+	if !tb.Settle(7200, 0.5) {
+		t.Fatal("testbed did not settle at 55°C")
+	}
+	for d := 0; d < 4; d++ {
+		for r := 0; r < 2; r++ {
+			temp, err := tb.Temp(d, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(temp-55) > 0.5 {
+				t.Fatalf("DIMM%d/rank%d at %v", d, r, temp)
+			}
+		}
+	}
+}
+
+func TestTestbedIndependentChannels(t *testing.T) {
+	tb, err := NewTestbed(2, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetTarget(0, 0, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetTarget(1, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Channels with setpoint 0 (below ambient) can never settle; drive the
+	// two commanded ones manually.
+	for i := 0; i < 3600; i++ {
+		tb.Step(2)
+	}
+	hot, _ := tb.Temp(0, 0)
+	warm, _ := tb.Temp(1, 1)
+	if math.Abs(hot-70) > 1 || math.Abs(warm-50) > 1 {
+		t.Fatalf("channels at %v and %v, want 70 and 50", hot, warm)
+	}
+	idle, _ := tb.Temp(0, 1)
+	if idle > 30 {
+		t.Fatalf("idle channel heated to %v", idle)
+	}
+}
+
+func TestSettleFailsForUnreachableTarget(t *testing.T) {
+	tb, err := NewTestbed(1, 1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.SetTargetAll(10) // below ambient: heater-only rig cannot reach it
+	if tb.Settle(600, 0.5) {
+		t.Fatal("settled below ambient")
+	}
+}

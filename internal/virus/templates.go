@@ -1,0 +1,155 @@
+// Package virus defines the standard virus templates of the paper's
+// experimental campaign — written in the vpl template language — and the
+// runner that compiles (instantiates) and executes them on the simulated
+// server through the minicc interpreter. This is the reference execution
+// path: a virus really is a little C program whose loads and stores travel
+// through the cache hierarchy into the DRAM model. The core package's GA
+// loop uses an equivalent native fast path (asserted equivalent in tests)
+// because interpreting thousands of candidate viruses per search would
+// dominate run time.
+package virus
+
+// Data64Template is the paper's Fig. 3 data-pattern template, specialized
+// to a 64-bit pattern: the chromosome is a 64-element binary vector; the
+// body assembles the word and tiles it over the virus's region.
+//
+// Constants required: REGION_WORDS (size of the test region in 64-bit
+// words), HEAP_BASE (where the virus's own arrays live — outside the
+// chunk-aligned test region).
+const Data64Template = `->parameters
+$$$_PATTERN_$$$ [64][0,1]
+global_data
+volatile unsigned long long pattern_bits[] = $$$_PATTERN_$$$;
+local_data
+volatile unsigned long long* region;
+unsigned long long word;
+int i;
+int b;
+body
+region = (unsigned long long*)(REGION_BASE);
+word = 0;
+for (b = 0; b < 64; b++) {
+    if (pattern_bits[b]) {
+        word |= ((unsigned long long)1) << b;
+    }
+}
+/* data pattern: tile the word over the whole region */
+for (i = 0; i < REGION_WORDS; i++) {
+    region[i] = word;
+}
+`
+
+// Fig3Template is the verbatim shape of the paper's Fig. 3: a data-pattern
+// array copied into a malloc'd buffer, then walked via a second searched
+// index array. It is exercised by the quickstart example and the template
+// tests; the specialized templates above/below drive the real searches.
+const Fig3Template = `->parameters
+$$$_ARRAY1_VEC_$$$ [N1][DB1,UP1]
+$$$_ARRAY2_VEC_$$$ [N2][0,N1]
+$$$_VAR1_$$$ [DB3,UP3]
+global_data
+volatile unsigned long long var1[] = $$$_ARRAY1_VEC_$$$;
+volatile unsigned long long var2[] = $$$_ARRAY2_VEC_$$$;
+local_data
+unsigned long long var3 = $$$_VAR1_$$$;
+volatile unsigned long long* temp_array;
+int i;
+int j;
+body
+temp_array = (unsigned long long*)(malloc(N1 * sizeof(unsigned long long)));
+/* data pattern */
+for (i = 0; i < N1; i++) {
+    temp_array[i] = var1[i];
+}
+/* memory access pattern */
+for (j = 0; j < VAR_ITERS; j++) {
+    for (i = 0; i < N2; i++) {
+        var3 += temp_array[var2[i] % N1];
+    }
+}
+`
+
+// AccessRowsTemplate is the paper's first memory-access template: for every
+// error-prone row (given as chunk indexes in TARGETS, not searched), the
+// virus repeatedly reads the 32 predecessor and 32 successor chunks that a
+// 64-bit selection chromosome enables. Element i < 32 selects offset
+// i - 32 (predecessors); element i >= 32 selects offset i - 31
+// (successors).
+//
+// Constants required: NT (number of targets), NCHUNKS (chunks in the test
+// region), MAXCHUNK (NCHUNKS-1), XMAX (sweep length per target),
+// WORDS_PER_CHUNK, REGION_BASE, HEAP_BASE.
+const AccessRowsTemplate = `->parameters
+$$$_ROWSEL_$$$ [64][0,1]
+$$$_TARGETS_$$$ [NT][0,MAXCHUNK]
+global_data
+volatile unsigned long long rowsel[] = $$$_ROWSEL_$$$;
+volatile unsigned long long targets[] = $$$_TARGETS_$$$;
+local_data
+volatile unsigned long long* base;
+unsigned long long acc;
+int t;
+int x;
+int i;
+long long c;
+body
+base = (unsigned long long*)(REGION_BASE);
+acc = 0;
+for (t = 0; t < NT; t++) {
+    for (x = 0; x < XMAX; x++) {
+        for (i = 0; i < 64; i++) {
+            if (rowsel[i]) {
+                if (i < 32) {
+                    c = (long long)targets[t] + i - 32;
+                } else {
+                    c = (long long)targets[t] + i - 31;
+                }
+                if (c >= 0 && c < NCHUNKS) {
+                    acc += base[c * WORDS_PER_CHUNK + (x % WORDS_PER_CHUNK)];
+                }
+            }
+        }
+    }
+}
+`
+
+// AccessCoeffsTemplate is the paper's second memory-access template: for
+// each error-prone row, the 16 neighbouring chunks (offsets -8..-1 and
+// +1..+8) are accessed at element indexes a_i·x + b_i, where the chromosome
+// holds the 16 a coefficients followed by the 16 b coefficients, each in
+// [0, 20].
+//
+// Constants required: as AccessRowsTemplate.
+const AccessCoeffsTemplate = `->parameters
+$$$_COEFFS_$$$ [32][0,20]
+$$$_TARGETS_$$$ [NT][0,MAXCHUNK]
+global_data
+volatile unsigned long long coeffs[] = $$$_COEFFS_$$$;
+volatile unsigned long long targets[] = $$$_TARGETS_$$$;
+local_data
+volatile unsigned long long* base;
+unsigned long long acc;
+unsigned long long idx;
+int t;
+int x;
+int i;
+long long c;
+body
+base = (unsigned long long*)(REGION_BASE);
+acc = 0;
+for (t = 0; t < NT; t++) {
+    for (x = 0; x < XMAX; x++) {
+        for (i = 0; i < 16; i++) {
+            if (i < 8) {
+                c = (long long)targets[t] + i - 8;
+            } else {
+                c = (long long)targets[t] + i - 7;
+            }
+            if (c >= 0 && c < NCHUNKS) {
+                idx = (coeffs[i] * x + coeffs[i + 16]) % WORDS_PER_CHUNK;
+                acc += base[c * WORDS_PER_CHUNK + idx];
+            }
+        }
+    }
+}
+`

@@ -1,0 +1,171 @@
+// Package virusdb persists every evaluated virus — its chromosome, the
+// operating conditions and the measured error counts — to a JSON file, as
+// the paper's evaluation phase records each virus in a database. The record
+// of an interrupted search seeds a new GA run (the framework's resume
+// mechanism).
+package virusdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one evaluated virus.
+type Record struct {
+	// Experiment identifies the search this virus belongs to, e.g.
+	// "data64/max-ce/55C".
+	Experiment string `json:"experiment"`
+
+	// Chromosome encoding: exactly one of Bits (as a "0101..." string) or
+	// Ints is set.
+	Bits string `json:"bits,omitempty"`
+	Ints []int  `json:"ints,omitempty"`
+
+	Fitness    float64 `json:"fitness"`
+	MeanCE     float64 `json:"mean_ce"`
+	UEFrac     float64 `json:"ue_frac"`
+	Generation int     `json:"generation"`
+
+	TempC float64 `json:"temp_c"`
+	TREFP float64 `json:"trefp"`
+	VDD   float64 `json:"vdd"`
+}
+
+// Validate reports whether the record is storable.
+func (r Record) Validate() error {
+	if r.Experiment == "" {
+		return fmt.Errorf("virusdb: empty experiment")
+	}
+	if r.Bits == "" && r.Ints == nil {
+		return fmt.Errorf("virusdb: record has no chromosome")
+	}
+	if r.Bits != "" && r.Ints != nil {
+		return fmt.Errorf("virusdb: record has two chromosomes")
+	}
+	for _, c := range r.Bits {
+		if c != '0' && c != '1' {
+			return fmt.Errorf("virusdb: bad bit %q", c)
+		}
+	}
+	return nil
+}
+
+// DB is a JSON-file-backed virus database.
+type DB struct {
+	path    string
+	records []Record
+}
+
+// Open loads the database at path, creating an empty one if the file does
+// not exist.
+func Open(path string) (*DB, error) {
+	if path == "" {
+		return nil, fmt.Errorf("virusdb: empty path")
+	}
+	db := &DB{path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("virusdb: %w", err)
+	}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &db.records); err != nil {
+			return nil, fmt.Errorf("virusdb: corrupt database %s: %w", path, err)
+		}
+	}
+	return db, nil
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() int { return len(db.records) }
+
+// Append stores a record and persists the database.
+func (db *DB) Append(recs ...Record) error {
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	db.records = append(db.records, recs...)
+	return db.save()
+}
+
+// save writes atomically (temp file + rename).
+func (db *DB) save() error {
+	data, err := json.MarshalIndent(db.records, "", " ")
+	if err != nil {
+		return fmt.Errorf("virusdb: %w", err)
+	}
+	dir := filepath.Dir(db.path)
+	tmp, err := os.CreateTemp(dir, ".virusdb-*")
+	if err != nil {
+		return fmt.Errorf("virusdb: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("virusdb: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("virusdb: %w", err)
+	}
+	if err := os.Rename(tmpName, db.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("virusdb: %w", err)
+	}
+	return nil
+}
+
+// Records returns the stored records for one experiment, strongest first.
+func (db *DB) Records(experiment string) []Record {
+	var out []Record
+	for _, r := range db.records {
+		if r.Experiment == experiment {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Fitness > out[j].Fitness
+	})
+	return out
+}
+
+// Experiments lists the distinct experiment names, sorted.
+func (db *DB) Experiments() []string {
+	set := map[string]bool{}
+	for _, r := range db.records {
+		set[r.Experiment] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Best returns the strongest record of an experiment, if any.
+func (db *DB) Best(experiment string) (Record, bool) {
+	recs := db.Records(experiment)
+	if len(recs) == 0 {
+		return Record{}, false
+	}
+	return recs[0], true
+}
+
+// TopN returns up to n strongest records of an experiment — the seed
+// population for resuming an interrupted search.
+func (db *DB) TopN(experiment string, n int) []Record {
+	recs := db.Records(experiment)
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
+}

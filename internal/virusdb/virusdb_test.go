@@ -1,0 +1,150 @@
+package virusdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempDB(t *testing.T) *DB {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "viruses.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func rec(exp string, fitness float64) Record {
+	return Record{Experiment: exp, Bits: "1100", Fitness: fitness,
+		MeanCE: fitness, TempC: 55, TREFP: 2.283, VDD: 1.428}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	db := tempDB(t)
+	if db.Len() != 0 {
+		t.Fatal("new database not empty")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(rec("e1", 10), rec("e1", 30), rec("e2", 5)); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reloaded %d records", re.Len())
+	}
+	recs := re.Records("e1")
+	if len(recs) != 2 || recs[0].Fitness != 30 {
+		t.Fatalf("records wrong: %+v", recs)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	db := tempDB(t)
+	bad := []Record{
+		{Experiment: "", Bits: "1"},
+		{Experiment: "e"},
+		{Experiment: "e", Bits: "10", Ints: []int{1}},
+		{Experiment: "e", Bits: "10x"},
+	}
+	for i, r := range bad {
+		if err := db.Append(r); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+	if db.Len() != 0 {
+		t.Fatal("bad records stored")
+	}
+}
+
+func TestBestAndTopN(t *testing.T) {
+	db := tempDB(t)
+	for _, f := range []float64{5, 50, 20, 40} {
+		if err := db.Append(rec("e", f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, ok := db.Best("e")
+	if !ok || best.Fitness != 50 {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+	top := db.TopN("e", 2)
+	if len(top) != 2 || top[0].Fitness != 50 || top[1].Fitness != 40 {
+		t.Fatalf("top2 = %+v", top)
+	}
+	if _, ok := db.Best("nope"); ok {
+		t.Fatal("best of missing experiment")
+	}
+	if got := db.TopN("e", 100); len(got) != 4 {
+		t.Fatalf("TopN overflow returned %d", len(got))
+	}
+}
+
+func TestExperiments(t *testing.T) {
+	db := tempDB(t)
+	if err := db.Append(rec("zeta", 1), rec("alpha", 2), rec("zeta", 3)); err != nil {
+		t.Fatal(err)
+	}
+	exps := db.Experiments()
+	if len(exps) != 2 || exps[0] != "alpha" || exps[1] != "zeta" {
+		t.Fatalf("experiments = %v", exps)
+	}
+}
+
+func TestIntChromosomeRecord(t *testing.T) {
+	db := tempDB(t)
+	r := Record{Experiment: "acc", Ints: []int{1, 2, 3}, Fitness: 7}
+	if err := db.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Records("acc")
+	if len(got) != 1 || len(got[0].Ints) != 3 {
+		t.Fatalf("ints record wrong: %+v", got)
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt database accepted")
+	}
+}
+
+func TestAtomicSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(rec("e", 1)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries", len(entries))
+	}
+}

@@ -1,0 +1,41 @@
+package vpl_test
+
+import (
+	"fmt"
+
+	"dstress/internal/vpl"
+)
+
+// A template declares its search space under ->parameters and embeds the
+// placeholders in C code; Analyze resolves the symbolic bounds and
+// Instantiate renders one concrete virus program.
+func Example() {
+	src := `->parameters
+$$$_PATTERN_$$$ [N][0,1]
+global_data
+volatile unsigned long long bits[] = $$$_PATTERN_$$$;
+body
+x = bits[0];
+`
+	tpl, err := vpl.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	analyzed, err := tpl.Analyze(map[string]int64{"N": 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("search space: %d genes, binary: %v\n",
+		analyzed.GenomeLength(), analyzed.AllBinary())
+
+	out, err := analyzed.Instantiate(map[string]vpl.Value{
+		"PATTERN": {Vector: []int64{1, 1, 0, 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.Global)
+	// Output:
+	// search space: 4 genes, binary: true
+	// volatile unsigned long long bits[] = {1, 1, 0, 0};
+}

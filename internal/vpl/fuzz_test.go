@@ -1,0 +1,42 @@
+package vpl
+
+import "testing"
+
+// FuzzParse checks the template parser never panics: arbitrary input either
+// parses or errors.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"->parameters\nbody\n",
+		"->parameters\n$$$_A_$$$ [0,1]\nbody\nx = $$$_A_$$$;\n",
+		"->parameters\n$$$_V_$$$ [8][0,255]\nglobal_data\nint a;\nbody\n;\n",
+		"->parameters\n$$$_A_$$$ [x][y,z]\nbody\n$$$_A_$$$\n",
+		"body\n->parameters\n",
+		"->parameters\n$$$_A_$$$\nbody\n",
+		"global_data\nbody\n->parameters\n",
+		"->parameters\n$$$_A_$$$ [0,1]\n$$$_A_$$$ [0,1]\nbody\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			return
+		}
+		tpl, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A parsed template must analyze or error cleanly too, with a
+		// permissive constant table covering common names.
+		consts := map[string]int64{}
+		for _, p := range tpl.Params {
+			for _, expr := range []string{p.SizeExpr, p.LoExpr, p.HiExpr} {
+				if expr != "" {
+					consts[expr] = 4
+				}
+			}
+		}
+		_, _ = tpl.Analyze(consts) // must not panic
+	})
+}

@@ -1,0 +1,344 @@
+// Package vpl implements DStress's programming tool: the template language
+// in which users specify the kind of data and memory-access patterns the GA
+// should explore (the paper's Fig. 3). A template has four sections —
+//
+//	->parameters
+//	$$$_ARRAY1_VEC_$$$ [N1][DB1,UP1]
+//	$$$_VAR1_$$$ [DB3,UP3]
+//	global_data
+//	volatile unsigned long long var1[] = $$$_ARRAY1_VEC_$$$;
+//	local_data
+//	unsigned long long var3 = $$$_VAR1_$$$;
+//	body
+//	...C code...
+//
+// — where `$$$_NAME_$$$` placeholders declared under ->parameters define
+// the GA search space: a vector parameter `[size][lo,hi]` or a scalar
+// `[lo,hi]`, with sizes and bounds given as integers or symbolic constants
+// resolved at analysis time. The processing phase (Parse + Analyze)
+// performs the lexical, syntax and semantic analyses the paper describes;
+// Instantiate substitutes concrete chromosome values to produce the C
+// source the minicc machine executes.
+package vpl
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParamKind distinguishes scalar and vector search parameters.
+type ParamKind int
+
+// The parameter kinds.
+const (
+	Scalar ParamKind = iota
+	Vector
+)
+
+func (k ParamKind) String() string {
+	if k == Scalar {
+		return "scalar"
+	}
+	return "vector"
+}
+
+// Param is one declared search parameter.
+type Param struct {
+	Name string
+	Kind ParamKind
+
+	// Raw expressions as written (integer literals or constant names).
+	SizeExpr, LoExpr, HiExpr string
+
+	// Resolved values, available after Analyze.
+	Size, Lo, Hi int64
+}
+
+// IsBinary reports whether the parameter ranges over {0,1} — such
+// parameters are encoded as bit chromosomes and compared with the
+// Sokal–Michener similarity; all others use integer chromosomes and the
+// weighted Jaccard similarity.
+func (p Param) IsBinary() bool { return p.Lo == 0 && p.Hi == 1 }
+
+// Template is a parsed (but not yet analyzed) virus template.
+type Template struct {
+	Params []Param
+	Global string
+	Local  string
+	Body   string
+}
+
+var placeholderRe = regexp.MustCompile(`\$\$\$_([A-Za-z0-9_]+?)_\$\$\$`)
+
+// paramDeclRe matches `$$$_NAME_$$$ [a][b,c]` or `$$$_NAME_$$$ [b,c]`.
+var paramDeclRe = regexp.MustCompile(
+	`^\$\$\$_([A-Za-z0-9_]+?)_\$\$\$\s*(\[\s*([^\[\],]+?)\s*\])?\s*\[\s*([^\[\],]+?)\s*,\s*([^\[\],]+?)\s*\]$`)
+
+// Parse performs the lexical and syntax analysis of a template source.
+func Parse(src string) (*Template, error) {
+	t := &Template{}
+	section := ""
+	var global, local, body []string
+	seen := map[string]bool{}
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		switch line {
+		case "->parameters", "global_data", "local_data", "body":
+			name := strings.TrimPrefix(line, "->")
+			if seen[name] {
+				return nil, fmt.Errorf("vpl: line %d: duplicate section %q",
+					lineNo, name)
+			}
+			if name == "parameters" && (seen["global_data"] || seen["local_data"] || seen["body"]) {
+				return nil, fmt.Errorf("vpl: line %d: ->parameters must come first", lineNo)
+			}
+			seen[name] = true
+			section = name
+			continue
+		}
+		switch section {
+		case "":
+			if line != "" {
+				return nil, fmt.Errorf("vpl: line %d: content before any section",
+					lineNo)
+			}
+		case "parameters":
+			if line == "" {
+				continue
+			}
+			m := paramDeclRe.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("vpl: line %d: bad parameter declaration %q",
+					lineNo, line)
+			}
+			p := Param{Name: m[1], LoExpr: m[4], HiExpr: m[5]}
+			if m[2] != "" {
+				p.Kind = Vector
+				p.SizeExpr = m[3]
+			}
+			for _, q := range t.Params {
+				if q.Name == p.Name {
+					return nil, fmt.Errorf("vpl: line %d: duplicate parameter %q",
+						lineNo, p.Name)
+				}
+			}
+			t.Params = append(t.Params, p)
+		case "global_data":
+			global = append(global, raw)
+		case "local_data":
+			local = append(local, raw)
+		case "body":
+			body = append(body, raw)
+		}
+	}
+	if !seen["parameters"] {
+		return nil, fmt.Errorf("vpl: missing ->parameters section")
+	}
+	if !seen["body"] {
+		return nil, fmt.Errorf("vpl: missing body section")
+	}
+	t.Global = strings.Join(global, "\n")
+	t.Local = strings.Join(local, "\n")
+	t.Body = strings.Join(body, "\n")
+	return t, nil
+}
+
+// usedPlaceholders returns the distinct placeholder names referenced in the
+// code sections.
+func (t *Template) usedPlaceholders() []string {
+	set := map[string]bool{}
+	for _, section := range []string{t.Global, t.Local, t.Body} {
+		for _, m := range placeholderRe.FindAllStringSubmatch(section, -1) {
+			set[m[1]] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Analyzed is a template whose parameters have been resolved and checked —
+// the output of the processing phase, ready to drive a GA search.
+type Analyzed struct {
+	Template
+	Consts map[string]int64
+}
+
+// resolveExpr evaluates an integer literal or a constant name.
+func resolveExpr(expr string, consts map[string]int64) (int64, error) {
+	if v, err := strconv.ParseInt(expr, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := consts[expr]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("vpl: unresolved constant %q", expr)
+}
+
+// Analyze performs the semantic analysis: every size/bound expression must
+// resolve against consts, bounds must be ordered, vector sizes positive,
+// every placeholder used in code must be declared, and every declared
+// parameter must be used.
+func (t *Template) Analyze(consts map[string]int64) (*Analyzed, error) {
+	a := &Analyzed{Template: *t, Consts: consts}
+	a.Params = append([]Param(nil), t.Params...)
+	declared := map[string]bool{}
+	for i := range a.Params {
+		p := &a.Params[i]
+		declared[p.Name] = true
+		var err error
+		if p.Kind == Vector {
+			if p.Size, err = resolveExpr(p.SizeExpr, consts); err != nil {
+				return nil, fmt.Errorf("parameter %s size: %w", p.Name, err)
+			}
+			if p.Size <= 0 {
+				return nil, fmt.Errorf("vpl: parameter %s has size %d",
+					p.Name, p.Size)
+			}
+		}
+		if p.Lo, err = resolveExpr(p.LoExpr, consts); err != nil {
+			return nil, fmt.Errorf("parameter %s lower bound: %w", p.Name, err)
+		}
+		if p.Hi, err = resolveExpr(p.HiExpr, consts); err != nil {
+			return nil, fmt.Errorf("parameter %s upper bound: %w", p.Name, err)
+		}
+		if p.Hi < p.Lo {
+			return nil, fmt.Errorf("vpl: parameter %s bounds [%d,%d]",
+				p.Name, p.Lo, p.Hi)
+		}
+	}
+	used := t.usedPlaceholders()
+	usedSet := map[string]bool{}
+	for _, name := range used {
+		usedSet[name] = true
+		if !declared[name] {
+			return nil, fmt.Errorf("vpl: placeholder %q used but not declared",
+				name)
+		}
+	}
+	for name := range declared {
+		if !usedSet[name] {
+			return nil, fmt.Errorf("vpl: parameter %q declared but never used",
+				name)
+		}
+	}
+	return a, nil
+}
+
+// Value is a concrete binding for one parameter.
+type Value struct {
+	Scalar int64
+	Vector []int64
+}
+
+// Source is an instantiated virus program, ready for minicc.
+type Source struct {
+	Global string
+	Local  string
+	Body   string
+}
+
+// Instantiate substitutes parameter values into the template, validating
+// kinds, sizes and bounds. Vector values render as C brace initializers.
+// Symbolic constants appearing in the code sections are substituted too, so
+// code can refer to sizes like N1 directly.
+func (a *Analyzed) Instantiate(values map[string]Value) (Source, error) {
+	render := map[string]string{}
+	for _, p := range a.Params {
+		v, ok := values[p.Name]
+		if !ok {
+			return Source{}, fmt.Errorf("vpl: no value for parameter %q", p.Name)
+		}
+		switch p.Kind {
+		case Scalar:
+			if v.Vector != nil {
+				return Source{}, fmt.Errorf("vpl: vector value for scalar %q",
+					p.Name)
+			}
+			if v.Scalar < p.Lo || v.Scalar > p.Hi {
+				return Source{}, fmt.Errorf("vpl: %q = %d outside [%d,%d]",
+					p.Name, v.Scalar, p.Lo, p.Hi)
+			}
+			render[p.Name] = strconv.FormatInt(v.Scalar, 10)
+		case Vector:
+			if int64(len(v.Vector)) != p.Size {
+				return Source{}, fmt.Errorf("vpl: %q has %d elements, want %d",
+					p.Name, len(v.Vector), p.Size)
+			}
+			var b strings.Builder
+			b.WriteByte('{')
+			for i, x := range v.Vector {
+				if x < p.Lo || x > p.Hi {
+					return Source{}, fmt.Errorf("vpl: %q[%d] = %d outside [%d,%d]",
+						p.Name, i, x, p.Lo, p.Hi)
+				}
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(strconv.FormatInt(x, 10))
+			}
+			b.WriteByte('}')
+			render[p.Name] = b.String()
+		}
+	}
+	sub := func(code string) string {
+		out := placeholderRe.ReplaceAllStringFunc(code, func(m string) string {
+			name := placeholderRe.FindStringSubmatch(m)[1]
+			return render[name]
+		})
+		return substituteConsts(out, a.Consts)
+	}
+	return Source{
+		Global: sub(a.Global),
+		Local:  sub(a.Local),
+		Body:   sub(a.Body),
+	}, nil
+}
+
+// substituteConsts replaces whole-word constant names with their values.
+func substituteConsts(code string, consts map[string]int64) string {
+	if len(consts) == 0 {
+		return code
+	}
+	names := make([]string, 0, len(consts))
+	for n := range consts {
+		names = append(names, regexp.QuoteMeta(n))
+	}
+	sort.Strings(names)
+	re := regexp.MustCompile(`\b(` + strings.Join(names, "|") + `)\b`)
+	return re.ReplaceAllStringFunc(code, func(m string) string {
+		return strconv.FormatInt(consts[m], 10)
+	})
+}
+
+// GenomeLength returns the total number of genes across all parameters —
+// the chromosome length of the template's search space.
+func (a *Analyzed) GenomeLength() int {
+	n := 0
+	for _, p := range a.Params {
+		if p.Kind == Vector {
+			n += int(p.Size)
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// AllBinary reports whether every parameter ranges over {0,1}.
+func (a *Analyzed) AllBinary() bool {
+	for _, p := range a.Params {
+		if !p.IsBinary() {
+			return false
+		}
+	}
+	return true
+}

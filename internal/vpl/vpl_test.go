@@ -1,0 +1,275 @@
+package vpl
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig3 is the template shape of the paper's Fig. 3.
+const fig3 = `
+->parameters
+$$$_ARRAY1_VEC_$$$ [N1][DB1,UP1]
+$$$_ARRAY2_VEC_$$$ [N2][0,N1]
+$$$_VAR1_$$$ [DB3,UP3]
+global_data
+volatile unsigned long long var1[] = $$$_ARRAY1_VEC_$$$;
+volatile unsigned long long var2[] = $$$_ARRAY2_VEC_$$$;
+local_data
+unsigned long long var3 = $$$_VAR1_$$$;
+volatile unsigned long long* temp_array;
+int i, j;
+body
+temp_array = (unsigned long long*)(malloc(N1 * sizeof(unsigned long long)));
+/* data pattern */
+for (i = 0; i < N1; i++) {
+    temp_array[i] = var1[i];
+}
+`
+
+func fig3Consts() map[string]int64 {
+	return map[string]int64{
+		"N1": 4, "N2": 3, "DB1": 0, "UP1": 1, "DB3": 0, "UP3": 100,
+	}
+}
+
+func TestParseFig3(t *testing.T) {
+	tpl, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Params) != 3 {
+		t.Fatalf("got %d params", len(tpl.Params))
+	}
+	p := tpl.Params[0]
+	if p.Name != "ARRAY1_VEC" || p.Kind != Vector || p.SizeExpr != "N1" ||
+		p.LoExpr != "DB1" || p.HiExpr != "UP1" {
+		t.Fatalf("param 0 wrong: %+v", p)
+	}
+	if tpl.Params[2].Kind != Scalar {
+		t.Fatal("VAR1 should be scalar")
+	}
+	if !strings.Contains(tpl.Global, "var1") ||
+		!strings.Contains(tpl.Body, "temp_array") {
+		t.Fatal("sections not captured")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-params":     "body\nx = 1;\n",
+		"no-body":       "->parameters\n$$$_A_$$$ [0,1]\n",
+		"stray-content": "x = 1;\n->parameters\nbody\n",
+		"bad-decl":      "->parameters\n$$$_A_$$$ [0..1]\nbody\nx;\n",
+		"dup-param":     "->parameters\n$$$_A_$$$ [0,1]\n$$$_A_$$$ [0,1]\nbody\nx;\n",
+		"dup-section":   "->parameters\nbody\nbody\n",
+		"params-late":   "body\nx;\n->parameters\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAnalyzeResolvesConstants(t *testing.T) {
+	tpl, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tpl.Analyze(fig3Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Params[0]
+	if p.Size != 4 || p.Lo != 0 || p.Hi != 1 {
+		t.Fatalf("resolved param: %+v", p)
+	}
+	if !p.IsBinary() {
+		t.Fatal("ARRAY1_VEC should be binary")
+	}
+	if a.Params[1].IsBinary() {
+		t.Fatal("ARRAY2_VEC has range [0,4]: not binary")
+	}
+	if a.GenomeLength() != 4+3+1 {
+		t.Fatalf("genome length %d", a.GenomeLength())
+	}
+	if a.AllBinary() {
+		t.Fatal("AllBinary should be false")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	tpl, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing constant.
+	c := fig3Consts()
+	delete(c, "UP3")
+	if _, err := tpl.Analyze(c); err == nil {
+		t.Fatal("missing constant accepted")
+	}
+	// Inverted bounds.
+	c = fig3Consts()
+	c["DB3"], c["UP3"] = 10, 5
+	if _, err := tpl.Analyze(c); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	// Non-positive size.
+	c = fig3Consts()
+	c["N1"] = 0
+	if _, err := tpl.Analyze(c); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestSemanticUndeclaredPlaceholder(t *testing.T) {
+	src := `->parameters
+$$$_A_$$$ [0,1]
+body
+x = $$$_A_$$$ + $$$_B_$$$;
+`
+	tpl, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Analyze(nil); err == nil ||
+		!strings.Contains(err.Error(), "B") {
+		t.Fatalf("undeclared placeholder not caught: %v", err)
+	}
+}
+
+func TestSemanticUnusedParameter(t *testing.T) {
+	src := `->parameters
+$$$_A_$$$ [0,1]
+$$$_UNUSED_$$$ [0,1]
+body
+x = $$$_A_$$$;
+`
+	tpl, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Analyze(nil); err == nil ||
+		!strings.Contains(err.Error(), "UNUSED") {
+		t.Fatalf("unused parameter not caught: %v", err)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	tpl, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tpl.Analyze(fig3Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := a.Instantiate(map[string]Value{
+		"ARRAY1_VEC": {Vector: []int64{1, 1, 0, 0}},
+		"ARRAY2_VEC": {Vector: []int64{0, 2, 4}},
+		"VAR1":       {Scalar: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src.Global, "var1[] = {1, 1, 0, 0};") {
+		t.Fatalf("vector not rendered:\n%s", src.Global)
+	}
+	if !strings.Contains(src.Local, "var3 = 42;") {
+		t.Fatalf("scalar not rendered:\n%s", src.Local)
+	}
+	// Constants are substituted into code.
+	if !strings.Contains(src.Body, "malloc(4 * sizeof") {
+		t.Fatalf("constant N1 not substituted:\n%s", src.Body)
+	}
+	if strings.Contains(src.Body, "$$$") {
+		t.Fatal("placeholder left in body")
+	}
+}
+
+func TestInstantiateValidation(t *testing.T) {
+	tpl, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tpl.Analyze(fig3Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := map[string]Value{
+		"ARRAY1_VEC": {Vector: []int64{1, 1, 0, 0}},
+		"ARRAY2_VEC": {Vector: []int64{0, 2, 4}},
+		"VAR1":       {Scalar: 42},
+	}
+	// Missing value.
+	bad := map[string]Value{}
+	for k, v := range ok {
+		bad[k] = v
+	}
+	delete(bad, "VAR1")
+	if _, err := a.Instantiate(bad); err == nil {
+		t.Fatal("missing value accepted")
+	}
+	// Wrong size.
+	bad = map[string]Value{}
+	for k, v := range ok {
+		bad[k] = v
+	}
+	bad["ARRAY1_VEC"] = Value{Vector: []int64{1}}
+	if _, err := a.Instantiate(bad); err == nil {
+		t.Fatal("wrong vector size accepted")
+	}
+	// Out of bounds element.
+	bad = map[string]Value{}
+	for k, v := range ok {
+		bad[k] = v
+	}
+	bad["ARRAY1_VEC"] = Value{Vector: []int64{1, 1, 0, 7}}
+	if _, err := a.Instantiate(bad); err == nil {
+		t.Fatal("out-of-bounds element accepted")
+	}
+	// Out of bounds scalar.
+	bad = map[string]Value{}
+	for k, v := range ok {
+		bad[k] = v
+	}
+	bad["VAR1"] = Value{Scalar: 101}
+	if _, err := a.Instantiate(bad); err == nil {
+		t.Fatal("out-of-bounds scalar accepted")
+	}
+	// Vector value for scalar.
+	bad = map[string]Value{}
+	for k, v := range ok {
+		bad[k] = v
+	}
+	bad["VAR1"] = Value{Vector: []int64{1}}
+	if _, err := a.Instantiate(bad); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestLiteralBoundsWithoutConstants(t *testing.T) {
+	src := `->parameters
+$$$_BITS_$$$ [64][0,1]
+body
+x = $$$_BITS_$$$;
+`
+	tpl, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tpl.Analyze(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params[0].Size != 64 || !a.Params[0].IsBinary() || !a.AllBinary() {
+		t.Fatalf("literal parameter wrong: %+v", a.Params[0])
+	}
+}
+
+func TestParamKindString(t *testing.T) {
+	if Scalar.String() != "scalar" || Vector.String() != "vector" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,192 @@
+// Package workload provides synthetic application workloads with the
+// data/access characteristics the paper uses to motivate DStress (Fig 1b):
+// DRAM error behaviour varies enormously between a scan-heavy analytics
+// kernel (kmeans) and a random-access key-value store (memcached), and
+// between DIMMs. Each workload drives the memory controller with its
+// characteristic footprint, data contents and access pattern; the server's
+// ECC log then shows the workload-dependent error counts.
+package workload
+
+import (
+	"fmt"
+
+	"dstress/internal/memctl"
+	"dstress/internal/xrand"
+)
+
+// Workload fills and exercises a memory region through a controller.
+type Workload interface {
+	Name() string
+	// Run writes the workload's data into [base, base+size) and performs
+	// `accesses` reads/writes through the controller's cache hierarchy.
+	Run(ctl *memctl.Controller, base, size int64, accesses int,
+		rng *xrand.Rand) error
+}
+
+// ByName returns a workload implementation.
+func ByName(name string) (Workload, error) {
+	switch name {
+	case "kmeans":
+		return KMeans{}, nil
+	case "memcached":
+		return Memcached{}, nil
+	case "stencil":
+		return Stencil{}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// All returns every workload, for margin-validation sweeps.
+func All() []Workload {
+	return []Workload{KMeans{}, Memcached{}, Stencil{}}
+}
+
+func checkRegion(base, size int64) error {
+	if base%8 != 0 || size <= 0 || size%8 != 0 {
+		return fmt.Errorf("workload: bad region [%#x,+%d)", base, size)
+	}
+	return nil
+}
+
+// KMeans models an iterative clustering kernel: a compact, dense matrix of
+// feature values scanned sequentially every iteration. Its data words look
+// like small IEEE-754 doubles (high exponent bits largely constant), its
+// working set is small and its accesses are streaming — the cache and row
+// buffer absorb almost everything, so it disturbs DRAM very little.
+type KMeans struct{}
+
+// Name implements Workload.
+func (KMeans) Name() string { return "kmeans" }
+
+// Run implements Workload. Only the first eighth of the region is used:
+// clustering working sets are compact.
+func (KMeans) Run(ctl *memctl.Controller, base, size int64, accesses int,
+	rng *xrand.Rand) error {
+	if err := checkRegion(base, size); err != nil {
+		return err
+	}
+	span := size / 8
+	if span < 8 {
+		span = size
+	}
+	// Feature values in [0,1): sign 0, exponent 0x3FE/0x3FD, random
+	// mantissa. The top bits are highly regular, as real float arrays are.
+	for a := base; a < base+span; a += 8 {
+		mantissa := rng.Uint64() & ((1 << 52) - 1)
+		exp := uint64(0x3FD + rng.Intn(2))
+		ctl.WriteWord(a, exp<<52|mantissa)
+	}
+	words := span / 8
+	for i := 0; i < accesses; i++ {
+		// Sequential scan, wrapping over the matrix; the distance update
+		// costs a few ALU operations per element.
+		ctl.ReadWord(base + (int64(i)%words)*8)
+		ctl.AdvanceNs(20)
+	}
+	return nil
+}
+
+// Stencil models an iterative stencil/grid kernel (the paper's group
+// studied these under relaxed refresh): two dense grids swept alternately,
+// each point reading its left/right neighbours — sequential, prefetchable
+// traffic over a working set larger than the cache, with smooth physical
+// field values as data.
+type Stencil struct{}
+
+// Name implements Workload.
+func (Stencil) Name() string { return "stencil" }
+
+// Run implements Workload.
+func (Stencil) Run(ctl *memctl.Controller, base, size int64, accesses int,
+	rng *xrand.Rand) error {
+	if err := checkRegion(base, size); err != nil {
+		return err
+	}
+	// Two grids of equal word count; the second grid starts one 8-KByte
+	// chunk later so source and destination land in different banks (as a
+	// real allocator's spread does) and the sweeps stay row-buffer
+	// friendly.
+	const chunk = 8192
+	half := ((size - chunk) / 16) * 8
+	if half < 16 {
+		return fmt.Errorf("workload: region too small for two grids")
+	}
+	// Smooth field: neighbouring words share high-order bits.
+	v := rng.Uint64()
+	for a := base; a < base+2*half+chunk; a += 8 {
+		v += rng.Uint64() % 1024 // slow drift
+		ctl.WriteWord(a, v)
+	}
+	words := half / 8
+	src, dst := base, base+half+chunk
+	var i int64 = 1
+	for n := 0; n < accesses/4; n++ {
+		// dst[i] = f(src[i-1], src[i], src[i+1]): three reads, one write.
+		left := ctl.ReadWord(src + (i-1)*8)
+		mid := ctl.ReadWord(src + i*8)
+		right := ctl.ReadWord(src + (i+1)*8)
+		ctl.WriteWord(dst+i*8, left/4+mid/2+right/4)
+		ctl.AdvanceNs(30) // the stencil's floating-point work per point
+		i++
+		if i >= words-1 {
+			i = 1
+			src, dst = dst, src
+		}
+	}
+	return nil
+}
+
+// Memcached models an in-memory key-value store: a large slab area holding
+// ASCII-ish values and pointer-rich metadata, hit by uniformly random GETs
+// and occasional SETs. The random footprint defeats the cache and keeps
+// reopening rows across the whole region.
+type Memcached struct{}
+
+// Name implements Workload.
+func (Memcached) Name() string { return "memcached" }
+
+// Run implements Workload.
+func (Memcached) Run(ctl *memctl.Controller, base, size int64, accesses int,
+	rng *xrand.Rand) error {
+	if err := checkRegion(base, size); err != nil {
+		return err
+	}
+	for a := base; a < base+size; a += 8 {
+		var w uint64
+		if (a/8)%4 == 0 {
+			// Slab metadata: pointers into the region (high bits sparse).
+			w = uint64(base) + rng.Uint64()%uint64(size)
+		} else {
+			// ASCII value bytes.
+			for b := 0; b < 8; b++ {
+				w |= uint64(0x20+rng.Intn(95)) << uint(8*b)
+			}
+		}
+		ctl.WriteWord(a, w)
+	}
+	// Key popularity is heavily skewed, as in real KV workloads: 90% of
+	// operations hit a hot set covering 10% of the slabs (which therefore
+	// lives in the cache), the rest scatter uniformly.
+	words := size / 8
+	hotWords := words / 10
+	if hotWords < 1 {
+		hotWords = 1
+	}
+	for i := 0; i < accesses; i++ {
+		var addr int64
+		if rng.Bool(0.9) {
+			addr = base + int64(rng.Uint64()%uint64(hotWords))*8
+		} else {
+			addr = base + int64(rng.Uint64()%uint64(words))*8
+		}
+		if rng.Bool(0.1) {
+			ctl.WriteWord(addr, rng.Uint64()) // SET
+		} else {
+			ctl.ReadWord(addr) // GET
+		}
+		// Request processing (parsing, hashing, network stack) dominates a
+		// KV store's per-operation time; it is not memory-latency bound.
+		ctl.AdvanceNs(500)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"dstress/internal/dram"
+	"dstress/internal/memctl"
+	"dstress/internal/xrand"
+)
+
+func testController(t *testing.T) *memctl.Controller {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.DefaultConfig(64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := memctl.NewController(memctl.DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"kmeans", "memcached"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name() != name {
+			t.Fatalf("name mismatch: %s", w.Name())
+		}
+	}
+	if _, err := ByName("redis"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	ctl := testController(t)
+	w, _ := ByName("kmeans")
+	if err := w.Run(ctl, 4, 1024, 10, xrand.New(1)); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if err := w.Run(ctl, 0, 0, 10, xrand.New(1)); err == nil {
+		t.Fatal("empty region accepted")
+	}
+	m, _ := ByName("memcached")
+	if err := m.Run(ctl, 0, -8, 10, xrand.New(1)); err == nil {
+		t.Fatal("negative region accepted")
+	}
+}
+
+func TestWorkloadsWriteData(t *testing.T) {
+	for _, name := range []string{"kmeans", "memcached"} {
+		ctl := testController(t)
+		w, _ := ByName(name)
+		if err := w.Run(ctl, 0, 1<<20, 5000, xrand.New(2)); err != nil {
+			t.Fatal(err)
+		}
+		dev := ctl.Device()
+		geom := dev.Geometry()
+		written := 0
+		for a := int64(0); a < 1<<20; a += 8192 {
+			if dev.RowWritten(dram.Key(geom.Map(a))) {
+				written++
+			}
+		}
+		if name == "memcached" && written < 100 {
+			t.Fatalf("%s wrote only %d rows", name, written)
+		}
+		if name == "kmeans" && written == 0 {
+			t.Fatalf("%s wrote nothing", name)
+		}
+	}
+}
+
+func TestMemcachedDisturbsMoreThanKMeans(t *testing.T) {
+	// The random footprint must produce far more row activations than the
+	// streaming scan — the mechanism behind the Fig 1b workload variation.
+	kctl := testController(t)
+	k, _ := ByName("kmeans")
+	if err := k.Run(kctl, 0, 1<<20, 200000, xrand.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	mctl := testController(t)
+	m, _ := ByName("memcached")
+	if err := m.Run(mctl, 0, 1<<20, 200000, xrand.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if mctl.Activations() < kctl.Activations()*10 {
+		t.Fatalf("memcached %d activations vs kmeans %d: not enough contrast",
+			mctl.Activations(), kctl.Activations())
+	}
+}
+
+func TestKMeansDataLooksLikeFloats(t *testing.T) {
+	ctl := testController(t)
+	k, _ := ByName("kmeans")
+	if err := k.Run(ctl, 0, 1<<16, 100, xrand.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := ctl.Device().ReadWord(ctl.Device().Geometry().Map(0))
+	if !ok {
+		t.Fatal("no data written")
+	}
+	exp := (v >> 52) & 0x7FF
+	if exp != 0x3FD && exp != 0x3FE {
+		t.Fatalf("exponent %#x not float-like", exp)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	sum := func(seed uint64) uint64 {
+		ctl := testController(t)
+		m, _ := ByName("memcached")
+		if err := m.Run(ctl, 0, 1<<18, 10000, xrand.New(seed)); err != nil {
+			t.Fatal(err)
+		}
+		return ctl.Activations()
+	}
+	if sum(5) != sum(5) {
+		t.Fatal("workload not deterministic")
+	}
+}

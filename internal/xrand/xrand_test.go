@@ -1,0 +1,208 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split()
+	c2 := root.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first values")
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		t.Fatal("zero seed produced all-zero state")
+	}
+	_ = r.Uint64()
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntRange(3,6) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange(3,6) never produced %d", v)
+		}
+	}
+	if got := r.IntRange(9, 9); got != 9 {
+		t.Fatalf("IntRange(9,9) = %d, want 9", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("normal sigma %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormPositive(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNorm(0, 1); v <= 0 {
+			t.Fatalf("LogNorm produced non-positive %v", v)
+		}
+	}
+}
+
+func TestLogNormMedian(t *testing.T) {
+	r := New(23)
+	const n = 50001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNorm(2, 0.5)
+	}
+	// Median of exp(N(2, .5)) is exp(2). Count how many fall below it.
+	below := 0
+	for _, v := range vals {
+		if v < math.Exp(2) {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("fraction below median %v, want ~0.5", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	for n := 0; n < 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(31)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(37)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: %v (was %v)", s, orig)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
