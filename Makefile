@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments experiments-full fuzz clean
+.PHONY: all build test test-short check bench experiments experiments-full fuzz clean
 
 all: build test
 
@@ -15,6 +15,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Static checks + the race detector over the whole tree, with a quick
+# short-mode -race pass over the concurrency-heavy packages first so their
+# failures surface before the long campaign tests run.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short ./internal/farm ./internal/ga ./internal/virusdb
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

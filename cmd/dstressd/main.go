@@ -1,0 +1,430 @@
+// Command dstressd is the campaign daemon: it keeps one evaluation farm —
+// worker budget, shared fitness cache, shared virus database — and runs
+// submitted synthesis searches concurrently on it, the way the paper's
+// experimental campaign keeps the testbed busy around the clock. Jobs are
+// submitted, watched and cancelled over HTTP.
+//
+// Usage:
+//
+//	dstressd -addr :8080 -budget 8 [-db viruses.json] [-rows 16] [-seed 2020]
+//
+// Endpoints:
+//
+//	POST /api/jobs            submit a search (JSON body, see jobRequest)
+//	GET  /api/jobs            list all jobs
+//	GET  /api/jobs/{id}       one job's status and, when finished, result
+//	POST /api/jobs/{id}/cancel
+//	GET  /api/virusdb         experiments, or ?experiment=...&top=N records
+//	GET  /metrics             farm/cache/scheduler counters as JSON
+//	GET  /debug/vars          the same, expvar-style
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dstress/internal/core"
+	"dstress/internal/farm"
+	"dstress/internal/ga"
+	"dstress/internal/server"
+	"dstress/internal/virusdb"
+	"dstress/internal/xrand"
+)
+
+// daemon owns the shared campaign state.
+type daemon struct {
+	sched   *farm.Scheduler
+	db      *virusdb.DB // may be nil (no persistence)
+	cache   *farm.Cache
+	metrics *farm.Metrics
+	rows    int
+	seed    uint64
+}
+
+func newDaemon(budget, rows int, seed uint64, db *virusdb.DB) (*daemon, error) {
+	sched, err := farm.NewScheduler(budget)
+	if err != nil {
+		return nil, err
+	}
+	cache := farm.NewCache()
+	cache.SetLimit(1 << 16)
+	return &daemon{
+		sched:   sched,
+		db:      db,
+		cache:   cache,
+		metrics: farm.NewMetrics(),
+		rows:    rows,
+		seed:    seed,
+	}, nil
+}
+
+// jobRequest is the submission body. Zero fields take daemon defaults.
+type jobRequest struct {
+	Name        string  `json:"name"`
+	Template    string  `json:"template"`  // data64|data24k|data512k|access-rows|access-coeffs
+	Criterion   string  `json:"criterion"` // max-ce|min-ce|max-ue
+	TempC       float64 `json:"temp_c"`
+	Generations int     `json:"generations"`
+	Population  int     `json:"population"`
+	Workers     int     `json:"workers"`
+	Seed        uint64  `json:"seed"`
+	Rows        int     `json:"rows"`
+	Runs        int     `json:"runs"`
+	// Fill is the fixed data background of the access templates, as a hex
+	// string ("0x3333333333333333") — JSON numbers cannot carry 64 bits.
+	Fill     string  `json:"fill"`
+	Resume   bool    `json:"resume"`
+	TimeoutS float64 `json:"timeout_s"`
+}
+
+// jobResult is what a finished search reports back through the job handle.
+type jobResult struct {
+	Experiment  string  `json:"experiment"`
+	Generations int     `json:"generations"`
+	Converged   bool    `json:"converged"`
+	Canceled    bool    `json:"canceled"`
+	BestFitness float64 `json:"best_fitness"`
+	Evaluations int     `json:"evaluations"`
+	MeanCE      float64 `json:"mean_ce"`
+	UEFrac      float64 `json:"ue_frac"`
+	Population  int     `json:"population"`
+}
+
+func buildSpec(template string, fill uint64) (core.Spec, error) {
+	switch template {
+	case "", "data64":
+		return core.Data64Spec{}, nil
+	case "data24k":
+		return core.NewData24KSpec(), nil
+	case "data512k":
+		return core.NewData512KSpec(), nil
+	case "access-rows":
+		return core.NewAccessRowsSpec(fill), nil
+	case "access-coeffs":
+		return core.NewAccessCoeffsSpec(fill), nil
+	}
+	return nil, fmt.Errorf("unknown template %q", template)
+}
+
+func buildCriterion(name string) (core.Criterion, error) {
+	switch name {
+	case "", "max-ce":
+		return core.MaxCE, nil
+	case "min-ce":
+		return core.MinCE, nil
+	case "max-ue":
+		return core.MaxUE, nil
+	}
+	return 0, fmt.Errorf("unknown criterion %q", name)
+}
+
+func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	if req.TempC == 0 {
+		req.TempC = 55
+	}
+	if req.Generations <= 0 {
+		req.Generations = 120
+	}
+	if req.Workers <= 0 {
+		req.Workers = 1
+	}
+	if req.Rows <= 0 {
+		req.Rows = d.rows
+	}
+	if req.Seed == 0 {
+		req.Seed = d.seed
+	}
+	fill := uint64(0x3333333333333333)
+	if req.Fill != "" {
+		v, err := strconv.ParseUint(req.Fill, 0, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad fill: %w", err))
+			return
+		}
+		fill = v
+	}
+	spec, err := buildSpec(req.Template, fill)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	crit, err := buildCriterion(req.Criterion)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = fmt.Sprintf("%s/%s/%.0fC", spec.Name(), crit, req.TempC)
+	}
+	timeout := time.Duration(req.TimeoutS * float64(time.Second))
+	job, err := d.sched.Submit(name, req.Workers, timeout,
+		func(ctx context.Context, j *farm.Job) (any, error) {
+			return d.runSearch(ctx, j, req, spec, crit)
+		})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// runSearch is the job body: a fresh simulated server and framework per job
+// (jobs must not share mutable hardware state), the daemon's database, cache
+// and metrics shared across all of them.
+func (d *daemon) runSearch(ctx context.Context, j *farm.Job, req jobRequest,
+	spec core.Spec, crit core.Criterion) (any, error) {
+	srv, err := server.New(server.DefaultConfig(req.Rows, req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.New(srv, xrand.New(req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if req.Runs > 0 {
+		f.Runs = req.Runs
+	}
+	f.DB = d.db
+	params := ga.DefaultParams()
+	params.MaxGenerations = req.Generations
+	if req.Population > 0 {
+		params.PopulationSize = req.Population
+	}
+	maxGen := params.MaxGenerations
+	res, err := f.RunSearchContext(ctx, core.SearchConfig{
+		Spec:      spec,
+		Criterion: crit,
+		Point:     core.Relaxed(req.TempC),
+		GA:        params,
+		Resume:    req.Resume,
+		Workers:   req.Workers,
+		Cache:     d.cache,
+		Metrics:   d.metrics,
+		OnGeneration: func(st ga.GenStats) {
+			j.Progress(st.Generation, maxGen, st.Best)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return jobResult{
+		Experiment:  res.Experiment,
+		Generations: res.Generations,
+		Converged:   res.Converged,
+		Canceled:    res.Canceled,
+		BestFitness: res.BestFitness,
+		Evaluations: res.Evaluations,
+		MeanCE:      res.BestMeasurement.MeanCE,
+		UEFrac:      res.BestMeasurement.UEFrac,
+		Population:  len(res.Population),
+	}, nil
+}
+
+func (d *daemon) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.sched.Jobs())
+}
+
+// jobView is the GET /api/jobs/{id} response.
+type jobView struct {
+	farm.JobStatus
+	Result *jobResult `json:"result,omitempty"`
+}
+
+func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	view := jobView{JobStatus: j.Status()}
+	select {
+	case <-j.Done():
+		if res, _ := j.Result(); res != nil {
+			if jr, ok := res.(jobResult); ok {
+				view.Result = &jr
+			}
+		}
+	default:
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (d *daemon) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	d.sched.Cancel(j.ID())
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (d *daemon) lookupJob(w http.ResponseWriter, r *http.Request) (*farm.Job, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id"))
+		return nil, false
+	}
+	j, ok := d.sched.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (d *daemon) getVirusDB(w http.ResponseWriter, r *http.Request) {
+	if d.db == nil {
+		httpError(w, http.StatusNotFound, errors.New("daemon runs without a database"))
+		return
+	}
+	exp := r.URL.Query().Get("experiment")
+	if exp == "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"experiments": d.db.Experiments(),
+			"records":     d.db.Len(),
+		})
+		return
+	}
+	top := d.db.Len()
+	if s := r.URL.Query().Get("top"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", s))
+			return
+		}
+		top = n
+	}
+	writeJSON(w, http.StatusOK, d.db.TopN(exp, top))
+}
+
+// metricsView aggregates every counter the daemon keeps.
+type metricsView struct {
+	Farm  farm.MetricsSnapshot `json:"farm"`
+	Cache farm.CacheStats      `json:"cache"`
+	Sched struct {
+		Budget int              `json:"budget"`
+		InUse  int              `json:"in_use"`
+		Jobs   []farm.JobStatus `json:"jobs"`
+	} `json:"scheduler"`
+}
+
+func (d *daemon) metricsView() metricsView {
+	var mv metricsView
+	mv.Farm = d.metrics.Snapshot(d.sched.Budget())
+	mv.Cache = d.cache.Stats()
+	mv.Sched.Budget = d.sched.Budget()
+	mv.Sched.InUse = d.sched.InUse()
+	mv.Sched.Jobs = d.sched.Jobs()
+	return mv
+}
+
+func (d *daemon) getMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.metricsView())
+}
+
+// expvarDaemon feeds expvar from whichever daemon was built last; expvar
+// registration is process-global and must not repeat (tests build several
+// daemons in one process).
+var (
+	expvarDaemon atomic.Pointer[daemon]
+	expvarOnce   sync.Once
+)
+
+func (d *daemon) handler() http.Handler {
+	expvarDaemon.Store(d)
+	expvarOnce.Do(func() {
+		expvar.Publish("dstressd", expvar.Func(func() any {
+			if cur := expvarDaemon.Load(); cur != nil {
+				return cur.metricsView()
+			}
+			return nil
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/jobs", d.submitJob)
+	mux.HandleFunc("GET /api/jobs", d.listJobs)
+	mux.HandleFunc("GET /api/jobs/{id}", d.getJob)
+	mux.HandleFunc("POST /api/jobs/{id}/cancel", d.cancelJob)
+	mux.HandleFunc("GET /api/virusdb", d.getVirusDB)
+	mux.HandleFunc("GET /metrics", d.getMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	budget := flag.Int("budget", 8, "global worker budget shared by all jobs")
+	dbPath := flag.String("db", "", "shared virus database file (optional)")
+	rows := flag.Int("rows", 16, "default rows per bank of simulated DIMMs")
+	seed := flag.Uint64("seed", 2020, "default deterministic seed")
+	flag.Parse()
+
+	var db *virusdb.DB
+	if *dbPath != "" {
+		var err error
+		db, err = virusdb.Open(*dbPath)
+		if err != nil {
+			var dropped int
+			db, dropped, err = virusdb.OpenSalvage(*dbPath)
+			if err != nil {
+				log.Fatalf("dstressd: %v", err)
+			}
+			log.Printf("dstressd: database %s was damaged; kept %d records, dropped %d",
+				*dbPath, db.Len(), dropped)
+		}
+	}
+	d, err := newDaemon(*budget, *rows, *seed, db)
+	if err != nil {
+		log.Fatalf("dstressd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: d.handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("dstressd: shutting down")
+		d.sched.Close() // cancel running jobs; they record partial results
+		d.sched.Wait()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}()
+
+	log.Printf("dstressd: listening on %s (budget %d workers)", *addr, *budget)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("dstressd: %v", err)
+	}
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dstress/internal/virusdb"
+)
+
+func testDaemon(t *testing.T, budget int, withDB bool) (*daemon, *httptest.Server) {
+	t.Helper()
+	var db *virusdb.DB
+	if withDB {
+		var err error
+		db, err = virusdb.Open(filepath.Join(t.TempDir(), "viruses.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := newDaemon(budget, 4, 7, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		d.sched.Close()
+		d.sched.Wait()
+		ts.Close()
+	})
+	return d, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitJob polls the job endpoint until the job leaves pending/running.
+func waitJob(t *testing.T, ts *httptest.Server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		var view jobView
+		if code := getJSON(t, ts.URL+"/api/jobs/"+id, &view); code != http.StatusOK {
+			t.Fatalf("GET job: HTTP %d", code)
+		}
+		switch view.State.String() {
+		case "done", "failed", "canceled":
+			return view
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return jobView{}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	_, ts := testDaemon(t, 4, true)
+
+	var status struct {
+		ID int `json:"id"`
+	}
+	code := postJSON(t, ts.URL+"/api/jobs", jobRequest{
+		Template:    "data64",
+		Criterion:   "max-ce",
+		TempC:       55,
+		Generations: 2,
+		Population:  6,
+		Workers:     2,
+		Runs:        2,
+	}, &status)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if status.ID != 1 {
+		t.Fatalf("job id = %d", status.ID)
+	}
+
+	view := waitJob(t, ts, "1")
+	if view.State.String() != "done" {
+		t.Fatalf("job finished %s (error %q)", view.State, view.Error)
+	}
+	if view.Result == nil {
+		t.Fatal("finished job has no result")
+	}
+	if view.Result.Experiment != "data64/max-ce/55C" {
+		t.Fatalf("experiment = %q", view.Result.Experiment)
+	}
+	if view.Result.Population != 6 || view.Result.Evaluations == 0 {
+		t.Fatalf("result = %+v", view.Result)
+	}
+
+	// The shared database recorded the final population.
+	var dbInfo struct {
+		Experiments []string `json:"experiments"`
+		Records     int      `json:"records"`
+	}
+	if code := getJSON(t, ts.URL+"/api/virusdb", &dbInfo); code != http.StatusOK {
+		t.Fatalf("virusdb: HTTP %d", code)
+	}
+	if len(dbInfo.Experiments) != 1 || dbInfo.Records != 6 {
+		t.Fatalf("virusdb = %+v", dbInfo)
+	}
+	var recs []virusdb.Record
+	getJSON(t, ts.URL+"/api/virusdb?experiment=data64/max-ce/55C&top=3", &recs)
+	if len(recs) != 3 || recs[0].Fitness < recs[2].Fitness {
+		t.Fatalf("top records = %+v", recs)
+	}
+
+	// Metrics counted the evaluations and the cache traffic.
+	var mv metricsView
+	if code := getJSON(t, ts.URL+"/metrics", &mv); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if mv.Farm.Evaluations == 0 {
+		t.Fatalf("no evaluations in metrics: %+v", mv.Farm)
+	}
+	if mv.Cache.Hits+mv.Cache.Misses == 0 {
+		t.Fatalf("no cache traffic: %+v", mv.Cache)
+	}
+	if len(mv.Sched.Jobs) != 1 || mv.Sched.InUse != 0 {
+		t.Fatalf("scheduler view = %+v", mv.Sched)
+	}
+
+	// The job list and expvar mirror the same state.
+	var jobs []json.RawMessage
+	if code := getJSON(t, ts.URL+"/api/jobs", &jobs); code != http.StatusOK || len(jobs) != 1 {
+		t.Fatalf("job list: HTTP %d, %d jobs", code, len(jobs))
+	}
+	var vars struct {
+		Dstressd *metricsView `json:"dstressd"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/vars", &vars); code != http.StatusOK {
+		t.Fatalf("expvar: HTTP %d", code)
+	}
+	if vars.Dstressd == nil || vars.Dstressd.Farm.Evaluations == 0 {
+		t.Fatal("expvar does not export the daemon metrics")
+	}
+}
+
+func TestDaemonCancelJob(t *testing.T) {
+	// Budget 1: the first job holds the only worker slot, so the second is
+	// deterministically still pending when the cancel arrives.
+	_, ts := testDaemon(t, 1, false)
+
+	// A 512-KByte-genome search over a big simulated DIMM: far too slow to
+	// converge before the cancel below arrives.
+	long := jobRequest{
+		Template:    "data512k",
+		Rows:        128,
+		Generations: 10000, // effectively unbounded; must die by cancel
+		Workers:     1,
+		Runs:        10,
+	}
+	postJSON(t, ts.URL+"/api/jobs", long, nil)
+	postJSON(t, ts.URL+"/api/jobs", jobRequest{Generations: 2, Population: 6,
+		Runs: 1}, nil)
+
+	if code := postJSON(t, ts.URL+"/api/jobs/2/cancel", struct{}{}, nil); code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", code)
+	}
+	view := waitJob(t, ts, "2")
+	if view.State.String() != "canceled" {
+		t.Fatalf("cancelled pending job finished %s", view.State)
+	}
+	if view.Started != nil {
+		t.Fatal("cancelled pending job ran anyway")
+	}
+
+	// Cancelling the running job stops the unbounded search too.
+	if code := postJSON(t, ts.URL+"/api/jobs/1/cancel", struct{}{}, nil); code != http.StatusOK {
+		t.Fatalf("cancel running: HTTP %d", code)
+	}
+	if view := waitJob(t, ts, "1"); view.State.String() != "canceled" {
+		t.Fatalf("cancelled running job finished %s", view.State)
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	_, ts := testDaemon(t, 1, false)
+	cases := []jobRequest{
+		{Template: "warp-drive"},
+		{Criterion: "most-errors"},
+		{Template: "access-rows", Fill: "0xNOPE"},
+	}
+	for i, req := range cases {
+		if code := postJSON(t, ts.URL+"/api/jobs", req, nil); code != http.StatusBadRequest {
+			t.Errorf("case %d: HTTP %d", i, code)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/api/jobs/99", nil); code != http.StatusNotFound {
+		t.Errorf("missing job: HTTP %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/virusdb", nil); code != http.StatusNotFound {
+		t.Errorf("virusdb without db: HTTP %d", code)
+	}
+}

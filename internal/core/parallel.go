@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"dstress/internal/farm"
+	"dstress/internal/ga"
+	"dstress/internal/xrand"
+)
+
+// workerPrepSeed seeds every evaluation worker's framework RNG. The seed is
+// shared on purpose: a spec that ever consumed preparation randomness would
+// still leave every worker in the same state, which is what determinism
+// across worker counts requires. (Today's specs consume none.)
+const workerPrepSeed = 0xD57E55
+
+// condKey identifies the operating conditions a fitness value was measured
+// under, scoping memoized entries in a shared cache. Everything the
+// measurement depends on beyond the chromosome goes in: spec, criterion,
+// operating point, averaging count, target MCU and the device geometry
+// seed material (via the server config's per-MCU seeds).
+func (f *Framework) condKey(cfg SearchConfig) string {
+	scfg := f.Srv.Config()
+	return fmt.Sprintf("%s|%s|t%.3f|p%.6f|v%.4f|n%d|m%d|s%d|r%d",
+		cfg.Spec.Name(), cfg.Criterion, cfg.Point.TempC, cfg.Point.TREFP,
+		cfg.Point.VDD, f.Runs, f.MCU, scfg.Seeds[f.MCU], scfg.RowsPerBank)
+}
+
+// NewEvalPool builds the fitness-evaluation farm for cfg: every worker gets
+// a clone of the framework's server (bit-identical simulated hardware),
+// programmed to the operating point and prepared for the spec, plus an
+// evaluator that deploys a chromosome on the clone and measures it with the
+// supplied per-chromosome noise stream. root seeds the pool's deterministic
+// stream assignment; pass a split of the experiment's RNG.
+func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
+	root *xrand.Rand) (*farm.Pool, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("core: nil spec")
+	}
+	factory := func(w int) (farm.EvalFunc, error) {
+		srv, err := f.Srv.Clone()
+		if err != nil {
+			return nil, err
+		}
+		wf := &Framework{Srv: srv, RNG: xrand.New(workerPrepSeed),
+			MCU: f.MCU, Runs: f.Runs}
+		if err := wf.Apply(cfg.Point); err != nil {
+			return nil, err
+		}
+		if err := cfg.Spec.Prepare(wf); err != nil {
+			return nil, err
+		}
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			if err := cfg.Spec.Deploy(wf, g); err != nil {
+				return 0, err
+			}
+			res, err := wf.Srv.Evaluate(wf.MCU, wf.Runs, rng)
+			if err != nil {
+				return 0, err
+			}
+			m := Measurement{MeanCE: res.MeanCE, MeanSDC: res.MeanSDC,
+				UEFrac: res.UEFrac}
+			return cfg.Criterion.Fitness(m), nil
+		}, nil
+	}
+	var opts []farm.PoolOption
+	if cfg.Cache != nil {
+		opts = append(opts, farm.WithCache(cfg.Cache, f.condKey(cfg)))
+	}
+	if cfg.Metrics != nil {
+		opts = append(opts, farm.WithMetrics(cfg.Metrics))
+	}
+	return farm.NewPool(workers, root, factory, opts...)
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dstress/internal/bitvec"
 
+	"dstress/internal/farm"
 	"dstress/internal/ga"
 	"dstress/internal/virusdb"
 )
@@ -20,8 +22,26 @@ type SearchConfig struct {
 	// Resume seeds the initial population with the strongest recorded
 	// viruses of this experiment, continuing an interrupted search.
 	Resume bool
-	// MaxDuration caps wall-clock time (the paper's two-week budget).
+	// MaxDuration caps wall-clock time (the paper's two-week budget). The
+	// budget cancels the search; the partial result is returned (and
+	// recorded in the database) with Canceled set.
 	MaxDuration time.Duration
+
+	// Workers >= 1 evaluates every generation on a farm of that many
+	// workers, each owning a clone of the framework's server. Farm results
+	// are bit-identical at any worker count (including 1) but follow a
+	// different — equally deterministic — noise-stream assignment than the
+	// legacy serial path, which Workers == 0 preserves.
+	Workers int
+	// Cache memoizes fitness values across generations and jobs (farm mode
+	// only). Safe to share between concurrent searches: entries are keyed
+	// by chromosome, spec, criterion and operating conditions.
+	Cache *farm.Cache
+	// Metrics, when non-nil, accumulates farm throughput counters.
+	Metrics *farm.Metrics
+	// OnGeneration observes each generation's statistics as the search
+	// runs (progress reporting).
+	OnGeneration func(ga.GenStats)
 }
 
 // experimentKey identifies the search in the virus database.
@@ -44,6 +64,15 @@ type SearchResult struct {
 // every final-population virus in the database, and returns the discovered
 // population. This is the end-to-end DStress loop of Fig 4.
 func (f *Framework) RunSearch(cfg SearchConfig) (*SearchResult, error) {
+	return f.RunSearchContext(context.Background(), cfg)
+}
+
+// RunSearchContext is RunSearch under a context. Cancelling the context
+// stops the search at the last fully evaluated generation; the partial
+// population is still measured, recorded in the database (so a later run
+// can resume from it, the paper's interrupted-search mechanism) and
+// returned with Result.Canceled set.
+func (f *Framework) RunSearchContext(ctx context.Context, cfg SearchConfig) (*SearchResult, error) {
 	if cfg.Spec == nil {
 		return nil, fmt.Errorf("core: nil spec")
 	}
@@ -68,22 +97,11 @@ func (f *Framework) RunSearch(cfg SearchConfig) (*SearchResult, error) {
 		return nil, err
 	}
 
-	fitness := func(g ga.Genome) (float64, error) {
-		if err := cfg.Spec.Deploy(f, g); err != nil {
-			return 0, err
-		}
-		m, err := f.Measure()
-		if err != nil {
-			return 0, err
-		}
-		return cfg.Criterion.Fitness(m), nil
-	}
-
-	eng, err := ga.New(params, fitness, f.RNG.Split())
-	if err != nil {
-		return nil, err
-	}
-
+	// The RNG split order is part of the reproducible protocol: engine
+	// stream, then initial population, then (farm mode only) the pool's
+	// noise root. The legacy serial path consumes exactly the splits it
+	// always did.
+	engRNG := f.RNG.Split()
 	initial := cfg.Spec.NewPopulation(f, params.PopulationSize, f.RNG.Split())
 	if cfg.Resume && f.DB != nil {
 		seeded := 0
@@ -98,7 +116,33 @@ func (f *Framework) RunSearch(cfg SearchConfig) (*SearchResult, error) {
 		}
 	}
 
-	res, err := eng.Run(initial)
+	var batch ga.BatchFitness
+	if cfg.Workers >= 1 {
+		pool, err := f.NewEvalPool(cfg, cfg.Workers, f.RNG.Split())
+		if err != nil {
+			return nil, err
+		}
+		batch = pool.Batch()
+	} else {
+		batch = ga.SerialBatch(func(g ga.Genome) (float64, error) {
+			if err := cfg.Spec.Deploy(f, g); err != nil {
+				return 0, err
+			}
+			m, err := f.Measure()
+			if err != nil {
+				return 0, err
+			}
+			return cfg.Criterion.Fitness(m), nil
+		})
+	}
+
+	eng, err := ga.NewBatch(params, batch, engRNG)
+	if err != nil {
+		return nil, err
+	}
+	eng.OnGeneration = cfg.OnGeneration
+
+	res, err := eng.RunContext(ctx, initial)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,100 @@
+package farm
+
+import "sync"
+
+// Cache memoizes fitness values across generations and jobs. The paper
+// averages a virus's VRT noise over ten runs, so its mean fitness is a
+// property of (chromosome, operating conditions); a chromosome that
+// survives into later generations — elites do every generation — or recurs
+// in another job can reuse the measured value instead of re-deploying.
+//
+// The cache is safe for concurrent use. Entries are evicted in insertion
+// order once Limit is exceeded, which keeps eviction deterministic (the
+// pool inserts in batch order, not completion order).
+type Cache struct {
+	mu     sync.Mutex
+	vals   map[string]float64
+	order  []string // insertion order, for FIFO eviction
+	limit  int
+	hits   uint64
+	misses uint64
+}
+
+// NewCache returns an unbounded cache; call SetLimit to bound it.
+func NewCache() *Cache {
+	return &Cache{vals: make(map[string]float64)}
+}
+
+// SetLimit bounds the entry count (0 = unbounded). Shrinking evicts oldest
+// entries immediately.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evict()
+}
+
+func (c *Cache) evict() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.order) > c.limit {
+		delete(c.vals, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+func (c *Cache) lookup(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vals[key]
+	return v, ok
+}
+
+func (c *Cache) put(key string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.vals[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.vals[key] = v
+	c.evict()
+}
+
+func (c *Cache) addHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *Cache) addMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time summary.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`   // avoided evaluations (cache + in-batch dedup)
+	Misses  uint64  `json:"misses"` // evaluations performed through the cache
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"` // hits / (hits + misses); 0 when idle
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.vals)}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}
+
+// Len returns the number of memoized entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vals)
+}

@@ -1,0 +1,296 @@
+// Package farm parallelizes virus fitness evaluation and schedules whole
+// synthesis campaigns. The paper's bottleneck is exactly here: every GA
+// generation re-deploys 40 viruses and averages 10 noisy measurement runs
+// each, which is why the physical campaign took months. The farm spreads a
+// generation over a pool of workers, each owning its own cloned simulated
+// server, while keeping results bit-identical to a serial evaluation:
+//
+//   - Randomness is assigned per chromosome, not per worker. For each batch
+//     the pool splits one child generator off its root stream per genome, in
+//     index order, before any evaluation starts. A genome's measurement
+//     noise therefore depends only on its position in the batch — never on
+//     which worker picks it up or in what order evaluations finish — so the
+//     fitness vector is the same at 1, 8 or 64 workers.
+//   - Workers are clones. Each worker's evaluator is built over an identical
+//     copy of the simulated machine (same defect-map seeds, same operating
+//     point, same prepared experiment), and a deployment fully overwrites
+//     the state it measures, so evaluations commute across workers.
+//
+// On top of the pool, Cache memoizes fitness values across generations and
+// campaigns (the paper averages VRT noise per virus, so a repeated
+// chromosome can reuse its measured mean), and Scheduler runs many GA
+// searches concurrently under one global worker budget with per-job
+// timeouts, cancellation and panic isolation.
+package farm
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dstress/internal/ga"
+	"dstress/internal/xrand"
+)
+
+// EvalFunc measures one chromosome using the supplied generator for the
+// run-to-run noise. Implementations run on exactly one worker at a time but
+// must not depend on evaluation order: a deployment has to overwrite
+// whatever state the previous evaluation left behind.
+type EvalFunc func(g ga.Genome, rng *xrand.Rand) (float64, error)
+
+// WorkerFactory builds worker w's evaluator — typically by cloning the
+// simulated server and preparing the experiment on the clone. Every worker
+// must be constructed identically: determinism across worker counts relies
+// on any worker producing the same measurement for the same (genome, rng).
+type WorkerFactory func(w int) (EvalFunc, error)
+
+// Pool evaluates genome batches on a fixed set of workers.
+type Pool struct {
+	evals   []EvalFunc
+	root    *xrand.Rand
+	cache   *Cache
+	condKey string
+	met     *Metrics
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*Pool)
+
+// WithCache memoizes fitness values in c under the given operating-condition
+// key: two searches sharing a cache must use distinct condition keys unless
+// their measurements really are interchangeable.
+func WithCache(c *Cache, condKey string) PoolOption {
+	return func(p *Pool) {
+		p.cache = c
+		p.condKey = condKey
+	}
+}
+
+// WithMetrics publishes evaluation counts and busy time to m (shared across
+// pools for campaign-wide rates).
+func WithMetrics(m *Metrics) PoolOption {
+	return func(p *Pool) { p.met = m }
+}
+
+// NewPool builds the workers via factory. The root generator seeds the
+// per-chromosome noise streams; construct it from the experiment's seed so
+// the whole evaluation is reproducible.
+func NewPool(workers int, root *xrand.Rand, factory WorkerFactory,
+	opts ...PoolOption) (*Pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("farm: workers = %d", workers)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("farm: nil root rng")
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("farm: nil worker factory")
+	}
+	p := &Pool{root: root}
+	for _, o := range opts {
+		o(p)
+	}
+	p.evals = make([]EvalFunc, workers)
+	for w := range p.evals {
+		ev, err := factory(w)
+		if err != nil {
+			return nil, fmt.Errorf("farm: worker %d: %w", w, err)
+		}
+		if ev == nil {
+			return nil, fmt.Errorf("farm: worker %d: factory returned nil", w)
+		}
+		p.evals[w] = ev
+	}
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.evals) }
+
+// Batch exposes the pool as a pluggable engine evaluator.
+func (p *Pool) Batch() ga.BatchFitness { return p.EvaluateBatch }
+
+// task is one scheduled evaluation; key is empty when uncached.
+type task struct {
+	idx int
+	g   ga.Genome
+	rng *xrand.Rand
+	key string
+}
+
+// EvaluateBatch measures every genome and returns the fitness vector. The
+// per-genome generators are split off the root serially before dispatch and
+// the cache is consulted and filled in index order, so the result — and the
+// root stream position — is independent of the worker count and of
+// completion order. A worker panic is converted into an error; the first
+// error aborts the batch.
+func (p *Pool) EvaluateBatch(ctx context.Context, gs []ga.Genome) ([]float64, error) {
+	out := make([]float64, len(gs))
+	var tasks []task
+	leaders := make(map[string]int)  // cache key -> out index computing it
+	followers := make(map[int][]int) // leader out index -> duplicate indexes
+	for i, g := range gs {
+		// Split unconditionally: the stream a genome receives must not
+		// depend on cache contents.
+		rng := p.root.Split()
+		if p.cache == nil {
+			tasks = append(tasks, task{idx: i, g: g, rng: rng})
+			continue
+		}
+		key := p.condKey + "|" + GenomeKey(g)
+		if v, ok := p.cache.lookup(key); ok {
+			p.cache.addHit()
+			out[i] = v
+			continue
+		}
+		if li, ok := leaders[key]; ok {
+			// Same chromosome earlier in this batch: reuse its measurement
+			// (the first occurrence's rng decides the value, keeping the
+			// result independent of scheduling).
+			p.cache.addHit()
+			followers[li] = append(followers[li], i)
+			continue
+		}
+		p.cache.addMiss()
+		leaders[key] = i
+		tasks = append(tasks, task{idx: i, g: g, rng: rng, key: key})
+	}
+
+	if err := p.runTasks(ctx, tasks, out); err != nil {
+		return nil, err
+	}
+
+	// Publish in task order (deterministic) and copy to duplicates.
+	for _, t := range tasks {
+		if t.key != "" {
+			p.cache.put(t.key, out[t.idx])
+		}
+		for _, i := range followers[t.idx] {
+			out[i] = out[t.idx]
+		}
+	}
+	if p.met != nil {
+		p.met.batches.Add(1)
+	}
+	return out, nil
+}
+
+// runTasks fans the tasks out over the workers and waits. Distinct tasks
+// write distinct out elements, so the slice needs no lock.
+func (p *Pool) runTasks(ctx context.Context, tasks []task, out []float64) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	nw := len(p.evals)
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	work := make(chan task)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(ev EvalFunc) {
+			defer wg.Done()
+			for t := range work {
+				start := time.Now()
+				v, err := safeEval(ev, t.g, t.rng)
+				if p.met != nil {
+					p.met.evalDone(time.Since(start))
+				}
+				if err != nil {
+					fail(fmt.Errorf("farm: genome %d: %w", t.idx, err))
+					continue
+				}
+				out[t.idx] = v
+			}
+		}(p.evals[w])
+	}
+dispatch:
+	for _, t := range tasks {
+		if failed() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case work <- t:
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// safeEval converts a worker panic into an error so one bad virus fails its
+// job instead of killing the campaign daemon.
+func safeEval(ev EvalFunc, g ga.Genome, rng *xrand.Rand) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluation panic: %v", r)
+		}
+	}()
+	return ev(g, rng)
+}
+
+// GenomeKey returns a stable identity string for a chromosome, used as the
+// memoization key. Small integer genomes are encoded verbatim; bit genomes
+// (up to megabits for the 512-KByte template) are hashed.
+func GenomeKey(g ga.Genome) string {
+	switch t := g.(type) {
+	case *ga.BitGenome:
+		n := t.Bits.Len()
+		h := sha256.New()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(n))
+		h.Write(buf[:])
+		for w := 0; w*64 < n; w++ {
+			binary.LittleEndian.PutUint64(buf[:], t.Bits.Word(w))
+			h.Write(buf[:])
+		}
+		return "b" + strconv.Itoa(n) + ":" + hex.EncodeToString(h.Sum(nil)[:16])
+	case *ga.IntGenome:
+		return "i:" + intsKey(t.Vals)
+	case *ga.MixedGenome:
+		return "m:" + intsKey(t.Vals)
+	default:
+		return fmt.Sprintf("g:%v", g)
+	}
+}
+
+func intsKey(vals []int) string {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}

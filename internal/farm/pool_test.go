@@ -1,0 +1,387 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dstress/internal/ga"
+	"dstress/internal/xrand"
+)
+
+// noisyEval is the test stand-in for a DIMM measurement: a value determined
+// by the chromosome plus noise drawn from the supplied stream. Any two
+// workers built from it behave identically, as the pool contract requires.
+func noisyEval(g ga.Genome, rng *xrand.Rand) (float64, error) {
+	base := 0.0
+	switch t := g.(type) {
+	case *ga.IntGenome:
+		for _, v := range t.Vals {
+			base += float64(v)
+		}
+	case *ga.BitGenome:
+		base = float64(t.Bits.OnesCount())
+	default:
+		return 0, fmt.Errorf("unexpected genome %T", g)
+	}
+	return base + rng.Float64(), nil
+}
+
+func noisyFactory(w int) (EvalFunc, error) { return noisyEval, nil }
+
+func intPopulation(n int, seed uint64) []ga.Genome {
+	rng := xrand.New(seed)
+	gs := make([]ga.Genome, n)
+	for i := range gs {
+		gs[i] = ga.RandomIntGenome(6, 0, 20, rng)
+	}
+	return gs
+}
+
+func bitPopulation(n int, seed uint64) []ga.Genome {
+	rng := xrand.New(seed)
+	gs := make([]ga.Genome, n)
+	for i := range gs {
+		gs[i] = ga.RandomBitGenome(64, rng)
+	}
+	return gs
+}
+
+// serialReference evaluates the batches the way a plain serial loop would:
+// one stream split off the root per genome, in order.
+func serialReference(t *testing.T, rootSeed uint64, batches [][]ga.Genome) [][]float64 {
+	t.Helper()
+	root := xrand.New(rootSeed)
+	out := make([][]float64, len(batches))
+	for bi, gs := range batches {
+		out[bi] = make([]float64, len(gs))
+		for i, g := range gs {
+			v, err := noisyEval(g, root.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[bi][i] = v
+		}
+	}
+	return out
+}
+
+func TestPoolDeterminismAcrossWorkerCounts(t *testing.T) {
+	const rootSeed = 99
+	cases := []struct {
+		name    string
+		batches [][]ga.Genome
+	}{
+		{"ints", [][]ga.Genome{intPopulation(12, 1), intPopulation(12, 2)}},
+		{"bits", [][]ga.Genome{bitPopulation(12, 3), bitPopulation(12, 4)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := serialReference(t, rootSeed, tc.batches)
+			for _, workers := range []int{1, 4, 16} {
+				pool, err := NewPool(workers, xrand.New(rootSeed), noisyFactory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for bi, gs := range tc.batches {
+					got, err := pool.EvaluateBatch(context.Background(), gs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range got {
+						if got[i] != want[bi][i] {
+							t.Fatalf("workers=%d batch %d genome %d: %v != %v",
+								workers, bi, i, got[i], want[bi][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPoolCacheHitsAndDedup(t *testing.T) {
+	gs := intPopulation(6, 5)
+	gs = append(gs, gs[2].Clone(), gs[4].Clone()) // in-batch duplicates
+
+	var evals atomic.Int64
+	counting := func(w int) (EvalFunc, error) {
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			evals.Add(1)
+			return noisyEval(g, rng)
+		}, nil
+	}
+	cache := NewCache()
+	pool, err := NewPool(4, xrand.New(11), counting,
+		WithCache(cache, "cond-a"), WithMetrics(NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := pool.EvaluateBatch(context.Background(), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[6] != first[2] || first[7] != first[4] {
+		t.Fatalf("duplicates measured differently: %v", first)
+	}
+	if n := evals.Load(); n != 6 {
+		t.Fatalf("%d evaluations for 6 unique genomes", n)
+	}
+	st := cache.Stats()
+	if st.Misses != 6 || st.Hits != 2 || st.Entries != 6 {
+		t.Fatalf("after batch 1: %+v", st)
+	}
+
+	// The whole second batch is memoized: no evaluations, same values.
+	second, err := pool.EvaluateBatch(context.Background(), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := evals.Load(); n != 6 {
+		t.Fatalf("cache did not absorb batch 2 (%d evals)", n)
+	}
+	for i := range second {
+		if second[i] != first[i] {
+			t.Fatalf("cached value drifted at %d", i)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 2+uint64(len(gs)) || st.HitRate <= 0.5 {
+		t.Fatalf("after batch 2: %+v", st)
+	}
+
+	// A different condition key must not share entries.
+	other, err := NewPool(2, xrand.New(11), counting, WithCache(cache, "cond-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.EvaluateBatch(context.Background(), gs); err != nil {
+		t.Fatal(err)
+	}
+	if n := evals.Load(); n != 12 {
+		t.Fatalf("condition keys leaked across searches (%d evals)", n)
+	}
+}
+
+func TestPoolCacheDeterminismAcrossWorkerCounts(t *testing.T) {
+	gs := intPopulation(10, 21)
+	gs = append(gs, gs[0].Clone(), gs[7].Clone())
+	var want []float64
+	for _, workers := range []int{1, 4, 16} {
+		pool, err := NewPool(workers, xrand.New(33), noisyFactory,
+			WithCache(NewCache(), "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pool.EvaluateBatch(context.Background(), gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d genome %d: %v != %v",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPoolFIFOEviction(t *testing.T) {
+	cache := NewCache()
+	cache.SetLimit(3)
+	for i := 0; i < 5; i++ {
+		cache.put(fmt.Sprintf("k%d", i), float64(i))
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("len = %d", cache.Len())
+	}
+	if _, ok := cache.lookup("k0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := cache.lookup("k4"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestPoolPanicBecomesError(t *testing.T) {
+	bomb := func(w int) (EvalFunc, error) {
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			if g.(*ga.IntGenome).Vals[0] == 13 {
+				panic("boom")
+			}
+			return noisyEval(g, rng)
+		}, nil
+	}
+	pool, err := NewPool(3, xrand.New(1), bomb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := ga.NewIntGenome([]int{13, 0}, 0, 20)
+	gs := append(intPopulation(5, 9), bad)
+	if _, err := pool.EvaluateBatch(context.Background(), gs); err == nil ||
+		!strings.Contains(err.Error(), "panic") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	// The pool survives a poisoned batch.
+	if _, err := pool.EvaluateBatch(context.Background(), intPopulation(5, 9)); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+}
+
+func TestPoolEvalErrorAborts(t *testing.T) {
+	failing := func(w int) (EvalFunc, error) {
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			return 0, fmt.Errorf("deploy failed")
+		}, nil
+	}
+	pool, err := NewPool(2, xrand.New(1), failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.EvaluateBatch(context.Background(), intPopulation(4, 1)); err == nil {
+		t.Fatal("worker error swallowed")
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	slow := func(w int) (EvalFunc, error) {
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			time.Sleep(5 * time.Millisecond)
+			return noisyEval(g, rng)
+		}, nil
+	}
+	pool, err := NewPool(2, xrand.New(1), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.EvaluateBatch(ctx, intPopulation(8, 1)); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 8*time.Millisecond)
+	defer cancel2()
+	if _, err := pool.EvaluateBatch(ctx2, intPopulation(64, 2)); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, xrand.New(1), noisyFactory); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewPool(1, nil, noisyFactory); err == nil {
+		t.Error("nil root accepted")
+	}
+	if _, err := NewPool(1, xrand.New(1), nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	broken := func(w int) (EvalFunc, error) {
+		if w == 1 {
+			return nil, fmt.Errorf("no hardware")
+		}
+		return noisyEval, nil
+	}
+	if _, err := NewPool(2, xrand.New(1), broken); err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+func TestGenomeKey(t *testing.T) {
+	a, _ := ga.NewIntGenome([]int{1, 2, 3}, 0, 20)
+	b, _ := ga.NewIntGenome([]int{1, 2, 3}, 0, 20)
+	c, _ := ga.NewIntGenome([]int{1, 2, 4}, 0, 20)
+	if GenomeKey(a) != GenomeKey(b) {
+		t.Error("equal int genomes got distinct keys")
+	}
+	if GenomeKey(a) == GenomeKey(c) {
+		t.Error("distinct int genomes share a key")
+	}
+	rng := xrand.New(7)
+	g1 := ga.RandomBitGenome(200, rng)
+	g2 := g1.Clone()
+	g3 := ga.RandomBitGenome(200, rng)
+	if GenomeKey(g1) != GenomeKey(g2) {
+		t.Error("equal bit genomes got distinct keys")
+	}
+	if GenomeKey(g1) == GenomeKey(g3) {
+		t.Error("distinct bit genomes share a key")
+	}
+	if GenomeKey(a) == GenomeKey(g1) {
+		t.Error("int and bit keys collide")
+	}
+}
+
+// BenchmarkFarmSpeedup contrasts a serial evaluation of one 40-virus
+// generation with the 8-worker farm. The per-virus dwell models the paper's
+// measurement latency (a real evaluation holds the DIMM for the refresh
+// windows being tested, it does not saturate a CPU), so the farm's win is
+// overlap, not parallel arithmetic:
+//
+//	go test -bench FarmSpeedup -benchtime 5x ./internal/farm/
+func BenchmarkFarmSpeedup(b *testing.B) {
+	const dwell = 2 * time.Millisecond
+	slow := func(w int) (EvalFunc, error) {
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			time.Sleep(dwell)
+			return noisyEval(g, rng)
+		}, nil
+	}
+	gs := intPopulation(40, 1)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			pool, err := NewPool(workers, xrand.New(1), slow)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.EvaluateBatch(context.Background(), gs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestFarmSpeedup is the benchmark's acceptance criterion in test form: with
+// a latency-bound evaluation, eight workers must cut a generation's
+// wall-clock time at least in half versus serial.
+func TestFarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const dwell = 2 * time.Millisecond
+	slow := func(w int) (EvalFunc, error) {
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			time.Sleep(dwell)
+			return noisyEval(g, rng)
+		}, nil
+	}
+	gs := intPopulation(40, 1)
+	elapsed := func(workers int) time.Duration {
+		pool, err := NewPool(workers, xrand.New(1), slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := pool.EvaluateBatch(context.Background(), gs); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := elapsed(1)
+	farm := elapsed(8)
+	if farm*2 > serial {
+		t.Fatalf("8 workers took %v vs %v serial (< 2x speedup)", farm, serial)
+	}
+	t.Logf("serial %v, 8 workers %v (%.1fx)", serial, farm,
+		float64(serial)/float64(farm))
+}

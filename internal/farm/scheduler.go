@@ -1,0 +1,387 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of a campaign job.
+type JobState int
+
+// The job states.
+const (
+	JobPending JobState = iota // waiting for worker budget
+	JobRunning
+	JobDone
+	JobFailed   // error or panic; the rest of the campaign continues
+	JobCanceled // cancelled by the caller, scheduler shutdown or timeout
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return "state(?)"
+}
+
+// MarshalJSON renders the state as its name.
+func (s JobState) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON parses a state name, so API clients can round-trip JobStatus.
+func (s *JobState) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, st := range []JobState{JobPending, JobRunning, JobDone, JobFailed,
+		JobCanceled} {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("farm: unknown job state %q", name)
+}
+
+// JobStatus is a point-in-time view of a job, JSON-ready for the daemon.
+type JobStatus struct {
+	ID      int      `json:"id"`
+	Name    string   `json:"name"`
+	State   JobState `json:"state"`
+	Workers int      `json:"workers"`
+
+	// Search progress, as reported by the job via Progress.
+	Generation     int     `json:"generation"`
+	MaxGenerations int     `json:"max_generations,omitempty"`
+	BestFitness    float64 `json:"best_fitness"`
+
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// JobFunc is the body of a job. It must return promptly once ctx is done;
+// partial results are welcome (a cancelled GA search returns best-so-far).
+// The job handle lets it publish progress.
+type JobFunc func(ctx context.Context, j *Job) (any, error)
+
+// Job is one scheduled search.
+type Job struct {
+	id      int
+	name    string
+	workers int
+
+	mu       sync.Mutex
+	state    JobState
+	gen      int
+	maxGen   int
+	best     float64
+	err      error
+	result   any
+	canceled bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// ID returns the scheduler-assigned job id.
+func (j *Job) ID() int { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress publishes search progress (typically from the GA's OnGeneration
+// hook). Safe to call from the job's own goroutines.
+func (j *Job) Progress(gen, maxGen int, best float64) {
+	j.mu.Lock()
+	j.gen, j.maxGen, j.best = gen, maxGen, best
+	j.mu.Unlock()
+}
+
+// Result returns the job's outcome once Done is closed.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:             j.id,
+		Name:           j.name,
+		State:          j.state,
+		Workers:        j.workers,
+		Generation:     j.gen,
+		MaxGenerations: j.maxGen,
+		BestFitness:    j.best,
+		Submitted:      j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Scheduler runs campaign jobs concurrently under a global worker budget: a
+// job submitted with N workers holds N budget tokens while it runs, so the
+// total number of concurrently evaluating workers never exceeds the budget.
+// One job failing — error, timeout or panic — never affects the others.
+type Scheduler struct {
+	budget int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	avail  int
+	closed bool
+	nextID int
+	jobs   map[int]*Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// NewScheduler builds a scheduler with the given worker budget.
+func NewScheduler(budget int) (*Scheduler, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("farm: budget = %d", budget)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		budget:     budget,
+		avail:      budget,
+		jobs:       make(map[int]*Job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Budget returns the configured worker budget.
+func (s *Scheduler) Budget() int { return s.budget }
+
+// InUse returns how many budget tokens running jobs currently hold.
+func (s *Scheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget - s.avail
+}
+
+// Submit queues a job requesting the given number of workers (clamped to
+// the budget so it can always start) and returns immediately. A positive
+// timeout cancels the job that long after it starts running.
+func (s *Scheduler) Submit(name string, workers int, timeout time.Duration,
+	fn JobFunc) (*Job, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("farm: nil job")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.budget {
+		workers = s.budget
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("farm: scheduler closed")
+	}
+	s.nextID++
+	j := &Job{
+		id:        s.nextID,
+		name:      name,
+		workers:   workers,
+		state:     JobPending,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(j, timeout, fn)
+	return j, nil
+}
+
+func (s *Scheduler) run(j *Job, timeout time.Duration, fn JobFunc) {
+	defer s.wg.Done()
+	if !s.acquire(j.workers, j) {
+		s.finish(j, nil, context.Canceled, true)
+		return
+	}
+	defer s.release(j.workers)
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.canceled { // cancelled while pending
+		j.mu.Unlock()
+		s.finish(j, nil, context.Canceled, true)
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	var (
+		res any
+		err error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("farm: job %q panicked: %v", j.name, r)
+			}
+		}()
+		res, err = fn(ctx, j)
+	}()
+	// A job interrupted by its own timeout or a campaign shutdown counts as
+	// cancelled, not failed — its partial result may still be useful.
+	canceled := ctx.Err() != nil
+	s.finish(j, res, err, canceled && err == nil || isCtxErr(err))
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *Scheduler) finish(j *Job, res any, err error, canceled bool) {
+	j.mu.Lock()
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	switch {
+	case canceled:
+		j.state = JobCanceled
+	case err != nil:
+		j.state = JobFailed
+	default:
+		j.state = JobDone
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// acquire blocks until n budget tokens are free, the scheduler closes, or
+// the waiting job is cancelled — a cancelled pending job must terminate
+// immediately, not once earlier jobs release the budget.
+func (s *Scheduler) acquire(n int, j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed || j.isCanceled() {
+			return false
+		}
+		if s.avail >= n {
+			s.avail -= n
+			return true
+		}
+		s.cond.Wait()
+	}
+}
+
+func (j *Job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+func (s *Scheduler) release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Job looks a job up by id.
+func (s *Scheduler) Job(id int) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job's status, in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel stops a job. Pending jobs are cancelled before they start; running
+// jobs get their context cancelled and report partial results.
+func (s *Scheduler) Cancel(id int) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	j.canceled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.cond.Broadcast() // wake the job if it is still waiting for budget
+	return true
+}
+
+// Close cancels every job and refuses new submissions. It does not wait;
+// use Wait for that.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.baseCancel()
+}
+
+// Wait blocks until every submitted job has reached a terminal state.
+func (s *Scheduler) Wait() { s.wg.Wait() }

@@ -1,0 +1,137 @@
+package ga
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dstress/internal/xrand"
+)
+
+// TestRunContextCancelReturnsPartial: cancelling mid-search must not discard
+// the run — the engine returns the last fully evaluated generation with
+// Canceled set and no error, so the caller can record best-so-far.
+func TestRunContextCancelReturnsPartial(t *testing.T) {
+	rng := xrand.New(42)
+	p := DefaultParams()
+	p.MaxGenerations = 10000
+	p.ConvergenceSim = 1.0 // all but unreachable; only the cancel can stop it
+	eng, err := New(p, onesCount, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	eng.OnGeneration = func(st GenStats) {
+		if st.Generation >= 3 {
+			cancel()
+		}
+	}
+	res, err := eng.RunContext(ctx, RandomBitPopulation(40, 64, rng))
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if !res.Canceled {
+		t.Fatal("Canceled not set")
+	}
+	if res.Converged {
+		t.Fatal("cancelled run claims convergence")
+	}
+	if len(res.History) < 3 || res.Generations >= 10000 {
+		t.Fatalf("history %d generations, ran %d", len(res.History),
+			res.Generations)
+	}
+	if res.Best == nil || len(res.Population) != 40 {
+		t.Fatalf("partial result incomplete: best=%v pop=%d", res.Best,
+			len(res.Population))
+	}
+	for i := 1; i < len(res.Fitnesses); i++ {
+		if res.Fitnesses[i] > res.Fitnesses[i-1] {
+			t.Fatal("partial population not sorted")
+		}
+	}
+}
+
+// TestMaxDurationCancels: the wall-clock budget now flows through context
+// cancellation and yields a partial result, not an error.
+func TestMaxDurationCancels(t *testing.T) {
+	rng := xrand.New(7)
+	p := DefaultParams()
+	p.MaxGenerations = 1 << 30
+	p.ConvergenceSim = 1.0
+	// The budget must comfortably cover the initial population (40 × dwell)
+	// — a deadline that expires before the first evaluation completes is an
+	// error, not a partial result — while still expiring mid-search.
+	p.MaxDuration = 150 * time.Millisecond
+	slow := func(g Genome) (float64, error) {
+		time.Sleep(500 * time.Microsecond)
+		return onesCount(g)
+	}
+	eng, err := New(p, slow, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := eng.Run(RandomBitPopulation(40, 64, rng))
+	if err != nil {
+		t.Fatalf("budgeted run errored: %v", err)
+	}
+	if !res.Canceled {
+		t.Fatal("budget expiry did not set Canceled")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget ignored: ran %v", elapsed)
+	}
+}
+
+// TestSerialBatchEquivalence: the per-genome adapter must make NewBatch
+// behave exactly like the classic New construction.
+func TestSerialBatchEquivalence(t *testing.T) {
+	run := func(build func(p Params, rng *xrand.Rand) (*Engine, error)) Result {
+		p := DefaultParams()
+		p.MaxGenerations = 20
+		p.ConvergenceSim = 1.0
+		rng := xrand.New(5)
+		eng, err := build(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(RandomBitPopulation(40, 64, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(func(p Params, rng *xrand.Rand) (*Engine, error) {
+		return New(p, onesCount, rng)
+	})
+	b := run(func(p Params, rng *xrand.Rand) (*Engine, error) {
+		return NewBatch(p, SerialBatch(onesCount), rng)
+	})
+	if a.BestFitness != b.BestFitness || a.Generations != b.Generations {
+		t.Fatalf("New and NewBatch diverged: best %v/%v gens %d/%d",
+			a.BestFitness, b.BestFitness, a.Generations, b.Generations)
+	}
+	for i := range a.Fitnesses {
+		if a.Fitnesses[i] != b.Fitnesses[i] {
+			t.Fatalf("fitness %d: %v != %v", i, a.Fitnesses[i], b.Fitnesses[i])
+		}
+	}
+}
+
+// TestSerialBatchChecksContext: the adapter stops between genomes once the
+// context dies, so a cancel does not wait out a whole generation.
+func TestSerialBatchChecksContext(t *testing.T) {
+	evals := 0
+	batch := SerialBatch(func(g Genome) (float64, error) {
+		evals++
+		return 0, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := batch(ctx, RandomBitPopulation(8, 16, xrand.New(1))); err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+	if evals != 0 {
+		t.Fatalf("%d evaluations after cancel", evals)
+	}
+}

@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,7 +34,10 @@ type Params struct {
 	// MaxGenerations bounds the search length.
 	MaxGenerations int
 	// MaxDuration bounds wall-clock time, standing in for the paper's
-	// two-week budget. Zero means unlimited.
+	// two-week budget. Zero means unlimited. It is enforced through context
+	// cancellation: a search that hits the budget stops and returns its
+	// partial result with Result.Canceled set, exactly as an externally
+	// cancelled context does.
 	MaxDuration time.Duration
 }
 
@@ -74,6 +78,32 @@ func (p Params) Validate() error {
 // (the paper uses ten runs per virus).
 type Fitness func(g Genome) (float64, error)
 
+// BatchFitness evaluates a whole generation at once and returns one fitness
+// per genome, in order. It is the pluggable evaluation point: a serial
+// adapter wraps a plain Fitness, and the farm package provides a worker-pool
+// implementation that evaluates the batch in parallel on cloned servers.
+// Implementations must honour ctx and return ctx.Err() when cancelled.
+type BatchFitness func(ctx context.Context, gs []Genome) ([]float64, error)
+
+// SerialBatch adapts a per-genome fitness function to the batch interface,
+// evaluating in index order and checking for cancellation between genomes.
+func SerialBatch(fitness Fitness) BatchFitness {
+	return func(ctx context.Context, gs []Genome) ([]float64, error) {
+		out := make([]float64, len(gs))
+		for i, g := range gs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			f, err := fitness(g)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+}
+
 // GenStats records one generation for convergence analysis.
 type GenStats struct {
 	Generation int
@@ -95,31 +125,49 @@ type Result struct {
 	Generations     int
 	Converged       bool
 	FinalSimilarity float64
-	History         []GenStats
+	// Canceled reports that the search was stopped early — context
+	// cancellation or the MaxDuration budget — and the result holds the
+	// best-so-far population rather than a finished search.
+	Canceled bool
+	History  []GenStats
 }
 
 // Engine runs one genetic search.
 type Engine struct {
-	params  Params
-	fitness Fitness
-	rng     *xrand.Rand
+	params Params
+	batch  BatchFitness
+	rng    *xrand.Rand
+
+	// OnGeneration, when non-nil, observes every generation's statistics as
+	// they are recorded — progress reporting for long-running campaigns.
+	OnGeneration func(GenStats)
 
 	// Evaluations counts fitness calls, for the efficiency analysis.
 	Evaluations int
 }
 
-// New builds an engine.
+// New builds an engine over a per-genome fitness function, evaluated
+// serially.
 func New(params Params, fitness Fitness, rng *xrand.Rand) (*Engine, error) {
+	if fitness == nil {
+		return nil, fmt.Errorf("ga: nil fitness")
+	}
+	return NewBatch(params, SerialBatch(fitness), rng)
+}
+
+// NewBatch builds an engine over a batch evaluator: each generation's
+// offspring are handed to batch as one slice, enabling parallel evaluation.
+func NewBatch(params Params, batch BatchFitness, rng *xrand.Rand) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	if fitness == nil {
-		return nil, fmt.Errorf("ga: nil fitness")
+	if batch == nil {
+		return nil, fmt.Errorf("ga: nil batch fitness")
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("ga: nil rng")
 	}
-	return &Engine{params: params, fitness: fitness, rng: rng}, nil
+	return &Engine{params: params, batch: batch, rng: rng}, nil
 }
 
 // Run executes the search from the given initial population (random
@@ -127,7 +175,22 @@ func New(params Params, fitness Fitness, rng *xrand.Rand) (*Engine, error) {
 // interrupted search from the virus database). The slice must have exactly
 // PopulationSize genomes.
 func (e *Engine) Run(initial []Genome) (Result, error) {
+	return e.RunContext(context.Background(), initial)
+}
+
+// RunContext is Run under a context. Cancellation — external or via the
+// MaxDuration budget — does not discard the run: the search stops at the
+// last fully evaluated generation and returns its best-so-far population
+// and history with Result.Canceled set and a nil error. Only a cancellation
+// that arrives before the initial population is evaluated, or a fitness
+// error, yields an error.
+func (e *Engine) RunContext(ctx context.Context, initial []Genome) (Result, error) {
 	p := e.params
+	if p.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.MaxDuration)
+		defer cancel()
+	}
 	if len(initial) != p.PopulationSize {
 		return Result{}, fmt.Errorf("ga: initial population %d, want %d",
 			len(initial), p.PopulationSize)
@@ -140,32 +203,31 @@ func (e *Engine) Run(initial []Genome) (Result, error) {
 		pop[i] = g.Clone()
 	}
 
-	fits := make([]float64, len(pop))
-	for i, g := range pop {
-		f, err := e.fitness(g)
-		if err != nil {
-			return Result{}, err
-		}
-		e.Evaluations++
-		fits[i] = f
+	fits, err := e.batch(ctx, pop)
+	if err != nil {
+		return Result{}, err
 	}
+	e.Evaluations += len(pop)
 
 	perGene := p.MutationPerGene
 	if perGene == 0 {
 		perGene = 1.5 / float64(pop[0].Len())
 	}
 
-	start := time.Now()
 	res := Result{}
 	for gen := 1; gen <= p.MaxGenerations; gen++ {
 		sortByFitness(pop, fits)
 		sim := meanPairwiseSimilarity(pop)
-		res.History = append(res.History, GenStats{
+		st := GenStats{
 			Generation: gen,
 			Best:       fits[0],
 			Mean:       mean(fits),
 			Similarity: sim,
-		})
+		}
+		res.History = append(res.History, st)
+		if e.OnGeneration != nil {
+			e.OnGeneration(st)
+		}
 		res.Generations = gen
 		res.FinalSimilarity = sim
 		if sim >= p.ConvergenceSim &&
@@ -173,7 +235,8 @@ func (e *Engine) Run(initial []Genome) (Result, error) {
 			res.Converged = true
 			break
 		}
-		if p.MaxDuration > 0 && time.Since(start) > p.MaxDuration {
+		if ctx.Err() != nil {
+			res.Canceled = true
 			break
 		}
 
@@ -184,8 +247,14 @@ func (e *Engine) Run(initial []Genome) (Result, error) {
 			nextFits = append(nextFits, fits[i])
 		}
 
+		// Breed the full offspring set first, then evaluate it as one
+		// batch. The genetic operators draw from e.rng in exactly the order
+		// the serial engine did, so results are unchanged; only the fitness
+		// calls move into the batch, where a farm can spread them over
+		// workers.
+		var children []Genome
 		weights := selectionWeights(len(pop))
-		for len(next) < len(pop) {
+		for len(next)+len(children) < len(pop) {
 			a := pop[e.roulette(weights)]
 			b := pop[e.roulette(weights)]
 			var c1, c2 Genome
@@ -195,22 +264,28 @@ func (e *Engine) Run(initial []Genome) (Result, error) {
 				c1, c2 = a.Clone(), b.Clone()
 			}
 			for _, child := range []Genome{c1, c2} {
-				if len(next) >= len(pop) {
+				if len(next)+len(children) >= len(pop) {
 					break
 				}
 				if e.rng.Bool(p.MutationProb) {
 					child.Mutate(e.rng, perGene)
 				}
-				f, err := e.fitness(child)
-				if err != nil {
-					return Result{}, err
-				}
-				e.Evaluations++
-				next = append(next, child)
-				nextFits = append(nextFits, f)
+				children = append(children, child)
 			}
 		}
-		pop, fits = next, nextFits
+		cfits, err := e.batch(ctx, children)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancelled mid-generation: the half-evaluated offspring
+				// are discarded and the last complete generation stands.
+				res.Canceled = true
+				break
+			}
+			return Result{}, err
+		}
+		e.Evaluations += len(children)
+		pop = append(next, children...)
+		fits = append(nextFits, cfits...)
 	}
 
 	sortByFitness(pop, fits)

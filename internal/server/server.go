@@ -110,6 +110,16 @@ func MustNew(cfg Config) *Server {
 	return s
 }
 
+// Config returns the server's construction configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Clone builds a factory-fresh copy of the server from its configuration:
+// bit-identical DIMMs (the defect maps derive from the config seeds),
+// nominal operating parameters and an ambient-temperature testbed. The
+// evaluation farm clones the machine once per worker so a generation's
+// viruses can be deployed and measured concurrently.
+func (s *Server) Clone() (*Server, error) { return New(s.cfg) }
+
 // MCU returns controller i (0..3).
 func (s *Server) MCU(i int) *memctl.Controller {
 	if i < 0 || i >= NumMCUs {

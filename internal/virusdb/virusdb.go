@@ -6,11 +6,13 @@
 package virusdb
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Record is one evaluated virus.
@@ -53,14 +55,21 @@ func (r Record) Validate() error {
 	return nil
 }
 
-// DB is a JSON-file-backed virus database.
+// DB is a JSON-file-backed virus database. It is safe for concurrent use:
+// campaign jobs evaluating in parallel share one database, and every write
+// goes to disk atomically (temp file, fsync, rename) so a crash mid-write
+// never poisons the resume mechanism with a half-written file.
 type DB struct {
-	path    string
+	path string
+
+	mu      sync.Mutex
 	records []Record
 }
 
 // Open loads the database at path, creating an empty one if the file does
-// not exist.
+// not exist. A file that does not parse — e.g. truncated by a crash of a
+// writer without atomic saves — is an error; OpenSalvage recovers the
+// readable prefix instead.
 func Open(path string) (*DB, error) {
 	if path == "" {
 		return nil, fmt.Errorf("virusdb: empty path")
@@ -81,8 +90,61 @@ func Open(path string) (*DB, error) {
 	return db, nil
 }
 
+// OpenSalvage is Open for a possibly damaged database: when the file does
+// not parse as a whole, it keeps every complete record from the front of
+// the array and drops the rest, returning the salvaged database and how
+// many records were dropped (0 for an intact file). The file itself is
+// rewritten only on the next Append.
+func OpenSalvage(path string) (*DB, int, error) {
+	db, err := Open(path)
+	if err == nil {
+		return db, 0, nil
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, 0, fmt.Errorf("virusdb: %w", rerr)
+	}
+	recs, ok := salvageRecords(data)
+	if !ok {
+		return nil, 0, err // not even an array prefix; keep Open's error
+	}
+	total := bytes.Count(data, []byte(`"experiment"`))
+	dropped := total - len(recs)
+	if dropped < 0 {
+		dropped = 0
+	}
+	return &DB{path: path, records: recs}, dropped, nil
+}
+
+// salvageRecords decodes complete records from the front of a (possibly
+// truncated) JSON array. The second result is false when data does not even
+// start with an array.
+func salvageRecords(data []byte) ([]Record, bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil || tok != json.Delim('[') {
+		return nil, false
+	}
+	var out []Record
+	for dec.More() {
+		var r Record
+		if err := dec.Decode(&r); err != nil {
+			break
+		}
+		if r.Validate() != nil {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, true
+}
+
 // Len returns the number of stored records.
-func (db *DB) Len() int { return len(db.records) }
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.records)
+}
 
 // Append stores a record and persists the database.
 func (db *DB) Append(recs ...Record) error {
@@ -91,11 +153,19 @@ func (db *DB) Append(recs ...Record) error {
 			return err
 		}
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.records = append(db.records, recs...)
-	return db.save()
+	if err := db.save(); err != nil {
+		// Keep memory and disk consistent: a failed save must not leave
+		// records that exist only until the process dies.
+		db.records = db.records[:len(db.records)-len(recs)]
+		return err
+	}
+	return nil
 }
 
-// save writes atomically (temp file + rename).
+// save writes atomically (temp file + fsync + rename); callers hold db.mu.
 func (db *DB) save() error {
 	data, err := json.MarshalIndent(db.records, "", " ")
 	if err != nil {
@@ -108,6 +178,14 @@ func (db *DB) save() error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("virusdb: %w", err)
+	}
+	// Flush to stable storage before the rename publishes the file: a
+	// rename can survive a crash that the data blocks did not, leaving an
+	// empty or partial database under the final name.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("virusdb: %w", err)
@@ -125,6 +203,8 @@ func (db *DB) save() error {
 
 // Records returns the stored records for one experiment, strongest first.
 func (db *DB) Records(experiment string) []Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var out []Record
 	for _, r := range db.records {
 		if r.Experiment == experiment {
@@ -139,6 +219,8 @@ func (db *DB) Records(experiment string) []Record {
 
 // Experiments lists the distinct experiment names, sorted.
 func (db *DB) Experiments() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	set := map[string]bool{}
 	for _, r := range db.records {
 		set[r.Experiment] = true

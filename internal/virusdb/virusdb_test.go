@@ -1,8 +1,10 @@
 package virusdb
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -127,6 +129,135 @@ func TestCorruptFileRejected(t *testing.T) {
 	}
 	if _, err := Open(path); err == nil {
 		t.Fatal("corrupt database accepted")
+	}
+}
+
+// writeTruncated writes a database with n records and chops the file after
+// frac of its bytes, simulating a crash mid-write of a non-atomic writer.
+func writeTruncated(t *testing.T, n int, frac float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trunc.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Append(rec(fmt.Sprintf("e%d", i%2), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int(float64(len(data)) * frac)
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenSalvageTruncated(t *testing.T) {
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		path := writeTruncated(t, 8, frac)
+		if _, err := Open(path); err == nil {
+			t.Fatalf("frac %.1f: Open accepted a truncated file", frac)
+		}
+		db, dropped, err := OpenSalvage(path)
+		if err != nil {
+			t.Fatalf("frac %.1f: salvage failed: %v", frac, err)
+		}
+		// dropped counts only what is visible in the truncated bytes, so
+		// salvaged+dropped is at most the original count and at least one
+		// trailing record must have been lost to the cut.
+		if db.Len() == 0 || db.Len() >= 8 {
+			t.Fatalf("frac %.1f: salvaged %d of 8", frac, db.Len())
+		}
+		if dropped < 1 || db.Len()+dropped > 8 {
+			t.Fatalf("frac %.1f: salvaged %d, dropped %d", frac,
+				db.Len(), dropped)
+		}
+		// The salvaged prefix must be the original records, in order, and
+		// the database must be fully usable: append and reload cleanly.
+		for i, r := range db.Records("e0") {
+			if r.Fitness != float64(2*(len(db.Records("e0"))-1-i)) &&
+				r.Experiment != "e0" {
+				t.Fatalf("frac %.1f: wrong salvaged record %+v", frac, r)
+			}
+		}
+		if err := db.Append(rec("after", 99)); err != nil {
+			t.Fatalf("frac %.1f: append after salvage: %v", frac, err)
+		}
+		re, err := Open(path)
+		if err != nil {
+			t.Fatalf("frac %.1f: reload after salvage: %v", frac, err)
+		}
+		if best, ok := re.Best("after"); !ok || best.Fitness != 99 {
+			t.Fatalf("frac %.1f: repaired file lost the new record", frac)
+		}
+	}
+}
+
+func TestOpenSalvageIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(rec("e", 1), rec("e", 2)); err != nil {
+		t.Fatal(err)
+	}
+	re, dropped, err := OpenSalvage(path)
+	if err != nil || dropped != 0 || re.Len() != 2 {
+		t.Fatalf("intact salvage: len=%d dropped=%d err=%v",
+			re.Len(), dropped, err)
+	}
+}
+
+func TestOpenSalvageHopeless(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte("{not an array"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenSalvage(path); err == nil {
+		t.Fatal("salvage invented records from junk")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 5
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				exp := fmt.Sprintf("job%d", w)
+				if err := db.Append(rec(exp, float64(i))); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != writers*each {
+		t.Fatalf("stored %d of %d records", db.Len(), writers*each)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != writers*each {
+		t.Fatalf("reloaded %d of %d records", re.Len(), writers*each)
+	}
+	if got := len(re.Experiments()); got != writers {
+		t.Fatalf("%d experiments on reload", got)
 	}
 }
 
