@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check bench experiments experiments-full fuzz clean
+.PHONY: all build test test-short check resume-test bench experiments experiments-full fuzz clean
 
 all: build test
 
@@ -18,11 +18,24 @@ test-short:
 
 # Static checks + the race detector over the whole tree, with a quick
 # short-mode -race pass over the concurrency-heavy packages first so their
-# failures surface before the long campaign tests run.
+# failures surface before the long campaign tests run, and a focused
+# checkpoint/resume pass over the durability-critical packages. The full
+# pass needs an explicit -timeout: the campaign test runs ~90s natively,
+# and the race detector's slowdown pushes it past go test's 600s default.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./internal/farm ./internal/ga ./internal/virusdb
-	$(GO) test -race ./...
+	$(GO) test -race -run 'Checkpoint|Resume|Journal|Snapshot' \
+		./internal/checkpoint ./internal/ga ./internal/core ./internal/farm
+	$(GO) test -race -timeout 30m ./...
+
+# Kill-and-resume integration: SIGKILL a live dstressd mid-search, restart
+# it over the same journal, and require the re-queued job to finish with a
+# result bit-identical to an uninterrupted run (plus the in-process
+# kill-at-generation-N resume tests at 1 and 8 workers).
+resume-test:
+	$(GO) test -v -run 'TestDaemonKillResumeIntegration' ./cmd/dstressd
+	$(GO) test -run 'TestRunSearchFrom|TestResume' ./internal/core ./internal/ga
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

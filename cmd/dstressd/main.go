@@ -6,13 +6,23 @@
 //
 // Usage:
 //
-//	dstressd -addr :8080 -budget 8 [-db viruses.json] [-rows 16] [-seed 2020]
+//	dstressd -addr :8080 -budget 8 [-db viruses.json] [-journal jobs.journal]
+//	         [-drain 30s] [-rows 16] [-seed 2020]
+//
+// With -journal, jobs are durable: every submission is journaled before it
+// runs and every search checkpoints each generation, so a daemon killed
+// mid-campaign re-queues its interrupted jobs on the next start and resumes
+// each from its last checkpointed generation, bit-identically. SIGTERM
+// triggers a graceful drain: running searches are cancelled, flush their
+// final checkpoint, and the daemon exits once they settle (or the -drain
+// deadline passes — the journal still holds whatever was flushed).
 //
 // Endpoints:
 //
 //	POST /api/jobs            submit a search (JSON body, see jobRequest)
 //	GET  /api/jobs            list all jobs
 //	GET  /api/jobs/{id}       one job's status and, when finished, result
+//	GET  /api/jobs/{id}/wait  the same, but blocks until the job finishes
 //	POST /api/jobs/{id}/cancel
 //	GET  /api/virusdb         experiments, or ?experiment=...&top=N records
 //	GET  /metrics             farm/cache/scheduler counters as JSON
@@ -47,23 +57,29 @@ import (
 // daemon owns the shared campaign state.
 type daemon struct {
 	sched   *farm.Scheduler
-	db      *virusdb.DB // may be nil (no persistence)
+	db      *virusdb.DB   // may be nil (no persistence)
+	journal *farm.Journal // may be nil (jobs die with the process)
 	cache   *farm.Cache
 	metrics *farm.Metrics
 	rows    int
 	seed    uint64
 }
 
-func newDaemon(budget, rows int, seed uint64, db *virusdb.DB) (*daemon, error) {
+func newDaemon(budget, rows int, seed uint64, db *virusdb.DB,
+	journal *farm.Journal) (*daemon, error) {
 	sched, err := farm.NewScheduler(budget)
 	if err != nil {
 		return nil, err
+	}
+	if journal != nil {
+		sched.SetJournal(journal)
 	}
 	cache := farm.NewCache()
 	cache.SetLimit(1 << 16)
 	return &daemon{
 		sched:   sched,
 		db:      db,
+		journal: journal,
 		cache:   cache,
 		metrics: farm.NewMetrics(),
 		rows:    rows,
@@ -88,6 +104,9 @@ type jobRequest struct {
 	Fill     string  `json:"fill"`
 	Resume   bool    `json:"resume"`
 	TimeoutS float64 `json:"timeout_s"`
+	// CheckpointEvery is the checkpoint interval in generations when the
+	// daemon runs with a journal; <= 0 means every generation.
+	CheckpointEvery int `json:"checkpoint_every"`
 }
 
 // jobResult is what a finished search reports back through the job handle.
@@ -131,12 +150,17 @@ func buildCriterion(name string) (core.Criterion, error) {
 	return 0, fmt.Errorf("unknown criterion %q", name)
 }
 
-func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
-		return
-	}
+// prepared is a validated, default-filled job submission, ready to launch —
+// either fresh from the API or rebuilt from a journal entry on restart.
+type prepared struct {
+	req     jobRequest
+	spec    core.Spec
+	crit    core.Criterion
+	name    string
+	timeout time.Duration
+}
+
+func (d *daemon) prepare(req jobRequest) (prepared, error) {
 	if req.TempC == 0 {
 		req.TempC = 55
 	}
@@ -156,30 +180,72 @@ func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
 	if req.Fill != "" {
 		v, err := strconv.ParseUint(req.Fill, 0, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad fill: %w", err))
-			return
+			return prepared{}, fmt.Errorf("bad fill: %w", err)
 		}
 		fill = v
 	}
 	spec, err := buildSpec(req.Template, fill)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return prepared{}, err
 	}
 	crit, err := buildCriterion(req.Criterion)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return prepared{}, err
 	}
 	name := req.Name
 	if name == "" {
 		name = fmt.Sprintf("%s/%s/%.0fC", spec.Name(), crit, req.TempC)
 	}
-	timeout := time.Duration(req.TimeoutS * float64(time.Second))
-	job, err := d.sched.Submit(name, req.Workers, timeout,
-		func(ctx context.Context, j *farm.Job) (any, error) {
-			return d.runSearch(ctx, j, req, spec, crit)
-		})
+	return prepared{
+		req:     req,
+		spec:    spec,
+		crit:    crit,
+		name:    name,
+		timeout: time.Duration(req.TimeoutS * float64(time.Second)),
+	}, nil
+}
+
+// launch schedules a prepared job. ckpt, when non-empty, is a serialized
+// core.Checkpoint the search continues from (a re-queued interrupted job).
+func (d *daemon) launch(p prepared, ckpt json.RawMessage) (*farm.Job, error) {
+	var cp *core.Checkpoint
+	if len(ckpt) > 0 {
+		cp = new(core.Checkpoint)
+		if err := json.Unmarshal(ckpt, cp); err != nil {
+			return nil, fmt.Errorf("bad checkpoint for %q: %w", p.name, err)
+		}
+	}
+	fn := func(ctx context.Context, j *farm.Job) (any, error) {
+		return d.runSearch(ctx, j, p, cp)
+	}
+	if d.journal == nil {
+		return d.sched.Submit(p.name, p.req.Workers, p.timeout, fn)
+	}
+	payload, err := json.Marshal(p.req)
+	if err != nil {
+		return nil, err
+	}
+	return d.sched.SubmitDurable(farm.JobSpec{
+		Name:       p.name,
+		Workers:    p.req.Workers,
+		Timeout:    p.timeout,
+		Payload:    payload,
+		Checkpoint: ckpt,
+	}, fn)
+}
+
+func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	p, err := d.prepare(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := d.launch(p, nil)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
@@ -187,11 +253,43 @@ func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
+// recoverJobs re-queues every job a previous process left in the journal,
+// each resuming from its last flushed checkpoint (or from scratch if it
+// never reached one).
+func (d *daemon) recoverJobs() {
+	for _, e := range d.journal.Recovered() {
+		var req jobRequest
+		if err := json.Unmarshal(e.Spec, &req); err != nil {
+			log.Printf("dstressd: journal entry %d (%s): unreadable spec: %v",
+				e.ID, e.Name, err)
+			continue
+		}
+		p, err := d.prepare(req)
+		if err != nil {
+			log.Printf("dstressd: journal entry %d (%s): %v", e.ID, e.Name, err)
+			continue
+		}
+		j, err := d.launch(p, e.Checkpoint)
+		if err != nil {
+			log.Printf("dstressd: re-queueing %q: %v", e.Name, err)
+			continue
+		}
+		from := "from scratch"
+		if len(e.Checkpoint) > 0 {
+			from = "from its last checkpoint"
+		}
+		log.Printf("dstressd: re-queued interrupted job %q as #%d, resuming %s",
+			e.Name, j.ID(), from)
+	}
+}
+
 // runSearch is the job body: a fresh simulated server and framework per job
 // (jobs must not share mutable hardware state), the daemon's database, cache
-// and metrics shared across all of them.
-func (d *daemon) runSearch(ctx context.Context, j *farm.Job, req jobRequest,
-	spec core.Spec, crit core.Criterion) (any, error) {
+// and metrics shared across all of them. A non-nil cp continues the
+// checkpointed search instead of starting one.
+func (d *daemon) runSearch(ctx context.Context, j *farm.Job, p prepared,
+	cp *core.Checkpoint) (any, error) {
+	req := p.req
 	srv, err := server.New(server.DefaultConfig(req.Rows, req.Seed))
 	if err != nil {
 		return nil, err
@@ -210,9 +308,9 @@ func (d *daemon) runSearch(ctx context.Context, j *farm.Job, req jobRequest,
 		params.PopulationSize = req.Population
 	}
 	maxGen := params.MaxGenerations
-	res, err := f.RunSearchContext(ctx, core.SearchConfig{
-		Spec:      spec,
-		Criterion: crit,
+	cfg := core.SearchConfig{
+		Spec:      p.spec,
+		Criterion: p.crit,
 		Point:     core.Relaxed(req.TempC),
 		GA:        params,
 		Resume:    req.Resume,
@@ -222,7 +320,28 @@ func (d *daemon) runSearch(ctx context.Context, j *farm.Job, req jobRequest,
 		OnGeneration: func(st ga.GenStats) {
 			j.Progress(st.Generation, maxGen, st.Best)
 		},
-	})
+	}
+	if d.journal != nil {
+		cfg.CheckpointEvery = req.CheckpointEvery
+		cfg.OnCheckpoint = func(c *core.Checkpoint) {
+			raw, err := json.Marshal(c)
+			if err == nil {
+				err = j.Checkpoint(raw)
+			}
+			if err != nil {
+				// The search is still sound without the journal update; the
+				// job just re-queues from an older generation after a crash.
+				log.Printf("dstressd: journaling checkpoint for %q: %v",
+					p.name, err)
+			}
+		}
+	}
+	var res *core.SearchResult
+	if cp != nil {
+		res, err = f.RunSearchFrom(ctx, cfg, cp)
+	} else {
+		res, err = f.RunSearchContext(ctx, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -249,11 +368,7 @@ type jobView struct {
 	Result *jobResult `json:"result,omitempty"`
 }
 
-func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := d.lookupJob(w, r)
-	if !ok {
-		return
-	}
+func viewOf(j *farm.Job) jobView {
 	view := jobView{JobStatus: j.Status()}
 	select {
 	case <-j.Done():
@@ -264,7 +379,32 @@ func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 	}
-	writeJSON(w, http.StatusOK, view)
+	return view
+}
+
+func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+// waitJob blocks until the job finishes, then reports it like getJob — a
+// long poll, so clients need not busy-loop the status endpoint. It selects
+// on the request context too: a client that disconnects mid-job releases
+// the handler immediately instead of leaking it until the job ends.
+func (d *daemon) waitJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, viewOf(j))
+	case <-r.Context().Done():
+		// Client gone; there is nobody left to write to.
+	}
 }
 
 func (d *daemon) cancelJob(w http.ResponseWriter, r *http.Request) {
@@ -362,6 +502,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /api/jobs", d.submitJob)
 	mux.HandleFunc("GET /api/jobs", d.listJobs)
 	mux.HandleFunc("GET /api/jobs/{id}", d.getJob)
+	mux.HandleFunc("GET /api/jobs/{id}/wait", d.waitJob)
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", d.cancelJob)
 	mux.HandleFunc("GET /api/virusdb", d.getVirusDB)
 	mux.HandleFunc("GET /metrics", d.getMetrics)
@@ -370,11 +511,19 @@ func (d *daemon) handler() http.Handler {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the ResponseWriter: once WriteHeader fires the
+	// status is on the wire, and an encoding failure after it would hand the
+	// client a success header glued to a broken body.
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		log.Printf("dstressd: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`,
+			http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	enc.Encode(v)
+	w.Write(append(data, '\n'))
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -385,6 +534,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	budget := flag.Int("budget", 8, "global worker budget shared by all jobs")
 	dbPath := flag.String("db", "", "shared virus database file (optional)")
+	journalPath := flag.String("journal", "",
+		"job journal file: submissions survive restarts and resume from their last checkpoint (optional)")
+	drain := flag.Duration("drain", 30*time.Second,
+		"graceful-shutdown deadline for running jobs to checkpoint and exit")
 	rows := flag.Int("rows", 16, "default rows per bank of simulated DIMMs")
 	seed := flag.Uint64("seed", 2020, "default deterministic seed")
 	flag.Parse()
@@ -403,9 +556,20 @@ func main() {
 				*dbPath, db.Len(), dropped)
 		}
 	}
-	d, err := newDaemon(*budget, *rows, *seed, db)
+	var journal *farm.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = farm.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("dstressd: %v", err)
+		}
+	}
+	d, err := newDaemon(*budget, *rows, *seed, db, journal)
 	if err != nil {
 		log.Fatalf("dstressd: %v", err)
+	}
+	if journal != nil {
+		d.recoverJobs()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -415,9 +579,13 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: d.handler()}
 	go func() {
 		<-ctx.Done()
-		log.Print("dstressd: shutting down")
-		d.sched.Close() // cancel running jobs; they record partial results
-		d.sched.Wait()
+		log.Print("dstressd: draining jobs")
+		// Cancelled searches flush their final checkpoint on the way out, so
+		// even a drain that hits the deadline leaves the journal current.
+		if !d.sched.Drain(*drain) {
+			log.Printf("dstressd: drain deadline (%s) exceeded; "+
+				"interrupted jobs stay journaled", *drain)
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(sctx)

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,7 +26,7 @@ func testDaemon(t *testing.T, budget int, withDB bool) (*daemon, *httptest.Serve
 			t.Fatal(err)
 		}
 	}
-	d, err := newDaemon(budget, 4, 7, db)
+	d, err := newDaemon(budget, 4, 7, db, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +211,77 @@ func TestDaemonCancelJob(t *testing.T) {
 	}
 	if view := waitJob(t, ts, "1"); view.State.String() != "canceled" {
 		t.Fatalf("cancelled running job finished %s", view.State)
+	}
+}
+
+// TestWaitEndpointDisconnectAndCompletion pins the long-poll contract: a
+// client that gives up mid-job releases its handler immediately (no
+// goroutine parked on j.Done() until the job ends), and a patient client
+// gets the finished view the moment the job settles.
+func TestWaitEndpointDisconnectAndCompletion(t *testing.T) {
+	_, ts := testDaemon(t, 1, false)
+
+	long := jobRequest{
+		Template:    "data512k",
+		Rows:        128,
+		Generations: 10000, // effectively unbounded; must die by cancel
+		Workers:     1,
+		Runs:        10,
+	}
+	postJSON(t, ts.URL+"/api/jobs", long, nil)
+
+	// Several clients connect to /wait and hang up almost immediately.
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			ts.URL+"/api/jobs/1/wait", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatal("/wait returned while the job was still running")
+		}
+		cancel()
+	}
+	// The handlers must unwind while the job is still running; leaked ones
+	// would keep their goroutines parked until the job ends.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines stuck after client disconnects: %d, baseline %d",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A patient waiter is released by the job finishing.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		postJSON(t, ts.URL+"/api/jobs/1/cancel", struct{}{}, nil)
+	}()
+	var view jobView
+	if code := getJSON(t, ts.URL+"/api/jobs/1/wait", &view); code != http.StatusOK {
+		t.Fatalf("/wait: HTTP %d", code)
+	}
+	if view.State.String() != "canceled" {
+		t.Fatalf("/wait returned state %s", view.State)
+	}
+}
+
+// TestWriteJSONEncodeFailure pins the fix for the header-then-fail bug: an
+// unencodable value (NaN) must produce a 500 with an error body, not a 200
+// status line glued to a broken body.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.NaN())
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Fatalf("body = %q, want an error document", rec.Body.String())
 	}
 }
 

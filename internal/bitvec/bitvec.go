@@ -209,6 +209,22 @@ func (v *Vec) String() string {
 	return b.String()
 }
 
+// BitString renders the whole vector as a '0'/'1' string, bit 0 first, with
+// no truncation: the serialization counterpart of Parse. String, which
+// elides everything past 128 bits for readable logs, must never be used to
+// persist a vector.
+func (v *Vec) BitString() string {
+	b := make([]byte, v.n)
+	for i := range b {
+		if v.Get(i) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
 // Parse builds a vector from a bit string such as "1100". Characters other
 // than '0' and '1' are rejected.
 func Parse(s string) (*Vec, error) {

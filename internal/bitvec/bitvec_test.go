@@ -229,6 +229,27 @@ func TestStringTruncates(t *testing.T) {
 	}
 }
 
+// TestBitStringRoundTripsBeyondDisplayWidth pins the persistence/display
+// split: String elides past 128 bits (fine for logs, fatal for storage);
+// BitString must round-trip through Parse at any length.
+func TestBitStringRoundTripsBeyondDisplayWidth(t *testing.T) {
+	rng := xrand.New(31)
+	for _, n := range []int{1, 64, 128, 129, 1000} {
+		v := Random(n, 0.5, rng)
+		s := v.BitString()
+		if len(s) != n {
+			t.Fatalf("n=%d: BitString length %d", n, len(s))
+		}
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !v.Equal(back) {
+			t.Fatalf("n=%d: BitString did not round-trip", n)
+		}
+	}
+}
+
 func BenchmarkMatchCount4K(b *testing.B) {
 	rng := xrand.New(4)
 	x := Random(4096, 0.5, rng)

@@ -111,7 +111,9 @@ func (s *RowhammerSpec) Deploy(f *Framework, g ga.Genome) error {
 
 // Encode implements Spec.
 func (s *RowhammerSpec) Encode(g ga.Genome, rec *virusdb.Record) {
-	rec.Bits = g.(*ga.BitGenome).Bits.String()
+	// BitString, not String: banks with more than 128 rows would otherwise
+	// persist an elided, unparseable chromosome.
+	rec.Bits = g.(*ga.BitGenome).Bits.BitString()
 }
 
 // Decode implements Spec.

@@ -42,6 +42,21 @@ type SearchConfig struct {
 	// OnGeneration observes each generation's statistics as the search
 	// runs (progress reporting).
 	OnGeneration func(ga.GenStats)
+
+	// OnCheckpoint receives a resumable Checkpoint every CheckpointEvery
+	// generations (and, regardless of the interval, the final state of a
+	// cancelled search, so a graceful drain never loses generations). The
+	// checkpoint is an independent copy the receiver may persist.
+	OnCheckpoint func(*Checkpoint)
+	// CheckpointEvery is the emission interval in generations; <= 0 means
+	// every generation.
+	CheckpointEvery int
+	// CheckpointPath, when non-empty, persists each emitted checkpoint to
+	// this file with the crash-safe internal/checkpoint discipline and
+	// removes the file when the search finishes uninterrupted. A failed
+	// checkpoint write aborts the search: silently running on without
+	// durability would defeat the point of asking for it.
+	CheckpointPath string
 }
 
 // experimentKey identifies the search in the virus database.
@@ -116,35 +131,63 @@ func (f *Framework) RunSearchContext(ctx context.Context, cfg SearchConfig) (*Se
 		}
 	}
 
-	var batch ga.BatchFitness
-	if cfg.Workers >= 1 {
-		pool, err := f.NewEvalPool(cfg, cfg.Workers, f.RNG.Split())
-		if err != nil {
-			return nil, err
-		}
-		batch = pool.Batch()
-	} else {
-		batch = ga.SerialBatch(func(g ga.Genome) (float64, error) {
-			if err := cfg.Spec.Deploy(f, g); err != nil {
-				return 0, err
-			}
-			m, err := f.Measure()
-			if err != nil {
-				return 0, err
-			}
-			return cfg.Criterion.Fitness(m), nil
-		})
+	batch, noise, err := f.newBatch(cfg, cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
-
 	eng, err := ga.NewBatch(params, batch, engRNG)
 	if err != nil {
 		return nil, err
 	}
 	eng.OnGeneration = cfg.OnGeneration
 
-	res, err := eng.RunContext(ctx, initial)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	em, err := newCkptEmitter(cfg, params, cfg.Workers, noise, cancel)
 	if err != nil {
 		return nil, err
+	}
+	em.install(eng)
+
+	res, err := eng.RunContext(ctx, initial)
+	return f.finishSearch(cfg, eng, em, res, err)
+}
+
+// newBatch builds the generation evaluator for cfg: a worker farm over
+// cloned servers for workers >= 1, the legacy serial loop otherwise. The
+// second return reads the noise-stream position a checkpoint must record —
+// the pool's root in farm mode, the framework RNG in serial mode.
+func (f *Framework) newBatch(cfg SearchConfig, workers int) (
+	ga.BatchFitness, func() [4]uint64, error) {
+	if workers >= 1 {
+		pool, err := f.NewEvalPool(cfg, workers, f.RNG.Split())
+		if err != nil {
+			return nil, nil, err
+		}
+		return pool.Batch(), pool.RootState, nil
+	}
+	batch := ga.SerialBatch(func(g ga.Genome) (float64, error) {
+		if err := cfg.Spec.Deploy(f, g); err != nil {
+			return 0, err
+		}
+		m, err := f.Measure()
+		if err != nil {
+			return 0, err
+		}
+		return cfg.Criterion.Fitness(m), nil
+	})
+	return batch, f.RNG.State, nil
+}
+
+// finishSearch is the common tail of a fresh and a resumed search: flush or
+// retire the checkpoint, re-measure the winner, record the population.
+func (f *Framework) finishSearch(cfg SearchConfig, eng *ga.Engine,
+	em *ckptEmitter, res ga.Result, runErr error) (*SearchResult, error) {
+	if err := em.finish(res, runErr); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	out := &SearchResult{
@@ -199,7 +242,7 @@ func (r *SearchResult) PopulationBits() []string {
 		if !ok {
 			return nil
 		}
-		out = append(out, bg.Bits.String())
+		out = append(out, bg.Bits.BitString())
 	}
 	return out
 }

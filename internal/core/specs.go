@@ -57,7 +57,7 @@ func (Data64Spec) Deploy(f *Framework, g ga.Genome) error {
 
 // Encode implements Spec.
 func (Data64Spec) Encode(g ga.Genome, rec *virusdb.Record) {
-	rec.Bits = g.(*ga.BitGenome).Bits.String()
+	rec.Bits = g.(*ga.BitGenome).Bits.BitString()
 }
 
 // Decode implements Spec.
@@ -196,18 +196,9 @@ func (s *BlockDataSpec) Deploy(f *Framework, g ga.Genome) error {
 
 // Encode implements Spec.
 func (s *BlockDataSpec) Encode(g ga.Genome, rec *virusdb.Record) {
-	bits := g.(*ga.BitGenome).Bits
 	// Full row-image chromosomes are large; store them verbatim — the
 	// database is the paper's record of every virus.
-	var sb []byte
-	for i := 0; i < bits.Len(); i++ {
-		if bits.Get(i) {
-			sb = append(sb, '1')
-		} else {
-			sb = append(sb, '0')
-		}
-	}
-	rec.Bits = string(sb)
+	rec.Bits = g.(*ga.BitGenome).Bits.BitString()
 }
 
 // Decode implements Spec.

@@ -138,7 +138,9 @@ func (s *AccessRowsSpec) Deploy(f *Framework, g ga.Genome) error {
 
 // Encode implements Spec.
 func (*AccessRowsSpec) Encode(g ga.Genome, rec *virusdb.Record) {
-	rec.Bits = g.(*ga.BitGenome).Bits.String()
+	// BitString, not String: the row set can exceed String's 128-bit display
+	// cutoff, and a truncated record would not Decode.
+	rec.Bits = g.(*ga.BitGenome).Bits.BitString()
 }
 
 // Decode implements Spec.

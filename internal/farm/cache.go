@@ -8,25 +8,42 @@ import "sync"
 // survives into later generations — elites do every generation — or recurs
 // in another job can reuse the measured value instead of re-deploying.
 //
-// The cache is safe for concurrent use. Entries are evicted in insertion
-// order once Limit is exceeded, which keeps eviction deterministic (the
-// pool inserts in batch order, not completion order).
+// The cache is safe for concurrent use. Once Limit is exceeded, the
+// least-recently-used entry is evicted: every hit and every re-put promotes
+// its key to the back of the queue, so the elites a GA carries across
+// generations outlive the churn of one-off offspring even under a small
+// limit. Eviction stays deterministic because the pool drives all cache
+// traffic from EvaluateBatch's serial phases, in batch order.
 type Cache struct {
 	mu     sync.Mutex
 	vals   map[string]float64
-	order  []string // insertion order, for FIFO eviction
+	latest map[string]uint64 // key -> ticket of its newest queue entry
+	order  []cacheEntry      // recency queue; live region is order[head:]
+	head   int               // consumed prefix, reclaimed by compaction
+	tick   uint64
 	limit  int
 	hits   uint64
 	misses uint64
 }
 
-// NewCache returns an unbounded cache; call SetLimit to bound it.
-func NewCache() *Cache {
-	return &Cache{vals: make(map[string]float64)}
+// cacheEntry is one position in the recency queue. A promoted key leaves its
+// old entry behind as a tombstone (its ticket no longer matches latest);
+// eviction skips tombstones, which keeps promotion O(1) instead of O(queue).
+type cacheEntry struct {
+	key  string
+	tick uint64
 }
 
-// SetLimit bounds the entry count (0 = unbounded). Shrinking evicts oldest
-// entries immediately.
+// NewCache returns an unbounded cache; call SetLimit to bound it.
+func NewCache() *Cache {
+	return &Cache{
+		vals:   make(map[string]float64),
+		latest: make(map[string]uint64),
+	}
+}
+
+// SetLimit bounds the entry count (0 = unbounded). Shrinking evicts
+// least-recently-used entries immediately.
 func (c *Cache) SetLimit(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -34,13 +51,47 @@ func (c *Cache) SetLimit(n int) {
 	c.evict()
 }
 
+// touch moves key to the back of the recency queue.
+func (c *Cache) touch(key string) {
+	c.tick++
+	c.latest[key] = c.tick
+	c.order = append(c.order, cacheEntry{key: key, tick: c.tick})
+	c.compact()
+}
+
 func (c *Cache) evict() {
 	if c.limit <= 0 {
 		return
 	}
-	for len(c.order) > c.limit {
-		delete(c.vals, c.order[0])
-		c.order = c.order[1:]
+	for len(c.vals) > c.limit && c.head < len(c.order) {
+		e := c.order[c.head]
+		c.head++
+		if c.latest[e.key] != e.tick {
+			continue // tombstone of a promoted key
+		}
+		delete(c.vals, e.key)
+		delete(c.latest, e.key)
+	}
+	c.compact()
+}
+
+// compact bounds the queue's memory. The consumed prefix and the tombstones
+// are copied away into fresh arrays — re-slicing (order = order[head:])
+// would keep the old backing array, and every evicted key's string with it,
+// reachable for as long as the cache lives.
+func (c *Cache) compact() {
+	if c.head > 32 && c.head*2 >= len(c.order) {
+		c.order = append([]cacheEntry(nil), c.order[c.head:]...)
+		c.head = 0
+	}
+	if len(c.order)-c.head > 2*len(c.vals)+32 {
+		fresh := make([]cacheEntry, 0, len(c.vals))
+		for _, e := range c.order[c.head:] {
+			if c.latest[e.key] == e.tick {
+				fresh = append(fresh, e)
+			}
+		}
+		c.order, c.head = fresh, 0
 	}
 }
 
@@ -48,16 +99,19 @@ func (c *Cache) lookup(key string) (float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.vals[key]
+	if ok {
+		// A hit is a reuse: keep the entry alive. This is what lets elites —
+		// which are looked up, never re-put — survive a bounded cache.
+		c.touch(key)
+	}
 	return v, ok
 }
 
 func (c *Cache) put(key string, v float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.vals[key]; !ok {
-		c.order = append(c.order, key)
-	}
 	c.vals[key] = v
+	c.touch(key)
 	c.evict()
 }
 

@@ -1,0 +1,144 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dstress/internal/checkpoint"
+)
+
+// JournalEntry is one durable job record: everything a restarted daemon
+// needs to re-queue the job — the caller-defined spec to rebuild it and the
+// latest resumable checkpoint to continue it from.
+type JournalEntry struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	Workers  int     `json:"workers"`
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+	// Spec is the opaque job description the submitter journaled; the farm
+	// never interprets it.
+	Spec json.RawMessage `json:"spec"`
+	// Checkpoint is the job's newest resumable state, nil until the job
+	// first checkpoints.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// State is informational: "pending", "running", or "interrupted".
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted"`
+}
+
+// journalDoc is the persisted form: the whole journal as one record, so a
+// crash can never leave entries from different moments mixed together.
+type journalDoc struct {
+	Jobs []JournalEntry `json:"jobs"`
+}
+
+// Journal persists a scheduler's durable jobs with the crash-safe
+// internal/checkpoint discipline. Entries live from submission to terminal
+// state; whatever the journal holds when the process dies is exactly the
+// set of jobs a restart must re-queue.
+type Journal struct {
+	path string
+
+	mu        sync.Mutex
+	file      *checkpoint.File
+	entries   map[int]*JournalEntry
+	recovered []JournalEntry
+}
+
+// OpenJournal opens (or creates) the journal at path and sets aside any
+// entries a previous process left behind — see Recovered. The new process
+// starts with an empty live set; re-queueing recovered jobs re-journals
+// them under fresh ids.
+func OpenJournal(path string) (*Journal, error) {
+	var doc journalDoc
+	if _, err := checkpoint.LoadInto(path, &doc); err != nil &&
+		!checkpoint.IsEmpty(err) {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	file, err := checkpoint.Open(path, checkpoint.DefaultKeep)
+	if err != nil {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	jl := &Journal{
+		path:    path,
+		file:    file,
+		entries: make(map[int]*JournalEntry),
+	}
+	for _, e := range doc.Jobs {
+		e.State = "interrupted" // whatever it was doing, it is not anymore
+		jl.recovered = append(jl.recovered, e)
+	}
+	return jl, nil
+}
+
+// Path returns the journal file location.
+func (jl *Journal) Path() string { return jl.path }
+
+// Recovered returns the jobs a previous process left unfinished, in
+// submission order. The caller decides how to re-queue them (typically by
+// rebuilding each from its Spec and resuming from its Checkpoint).
+func (jl *Journal) Recovered() []JournalEntry {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	out := make([]JournalEntry, len(jl.recovered))
+	copy(out, jl.recovered)
+	return out
+}
+
+// Len returns the number of live entries.
+func (jl *Journal) Len() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return len(jl.entries)
+}
+
+func (jl *Journal) add(e JournalEntry) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	jl.entries[e.ID] = &e
+	return jl.persistLocked()
+}
+
+func (jl *Journal) setState(id int, state string) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	e, ok := jl.entries[id]
+	if !ok {
+		return nil
+	}
+	e.State = state
+	return jl.persistLocked()
+}
+
+func (jl *Journal) setCheckpoint(id int, cp json.RawMessage) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	e, ok := jl.entries[id]
+	if !ok {
+		return nil // job already retired; a late checkpoint is not an error
+	}
+	e.Checkpoint = append(json.RawMessage(nil), cp...)
+	return jl.persistLocked()
+}
+
+func (jl *Journal) remove(id int) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if _, ok := jl.entries[id]; !ok {
+		return nil
+	}
+	delete(jl.entries, id)
+	return jl.persistLocked()
+}
+
+func (jl *Journal) persistLocked() error {
+	doc := journalDoc{Jobs: make([]JournalEntry, 0, len(jl.entries))}
+	for _, e := range jl.entries {
+		doc.Jobs = append(doc.Jobs, *e)
+	}
+	sort.Slice(doc.Jobs, func(i, k int) bool { return doc.Jobs[i].ID < doc.Jobs[k].ID })
+	return jl.file.Save(doc)
+}

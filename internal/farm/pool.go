@@ -113,6 +113,13 @@ func NewPool(workers int, root *xrand.Rand, factory WorkerFactory,
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.evals) }
 
+// RootState captures the noise-root RNG position. The root only advances in
+// EvaluateBatch's serial prologue, so between batches the state is stable
+// and, together with the GA engine's snapshot, fully determines the rest of
+// the search — it is the piece of farm state a checkpoint must carry.
+// Callers must not invoke it concurrently with EvaluateBatch.
+func (p *Pool) RootState() [4]uint64 { return p.root.State() }
+
 // Batch exposes the pool as a pluggable engine evaluator.
 func (p *Pool) Batch() ga.BatchFitness { return p.EvaluateBatch }
 

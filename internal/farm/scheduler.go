@@ -87,6 +87,7 @@ type Job struct {
 	id      int
 	name    string
 	workers int
+	journal *Journal // nil unless submitted via SubmitDurable
 
 	mu       sync.Mutex
 	state    JobState
@@ -117,6 +118,16 @@ func (j *Job) Progress(gen, maxGen int, best float64) {
 	j.mu.Lock()
 	j.gen, j.maxGen, j.best = gen, maxGen, best
 	j.mu.Unlock()
+}
+
+// Checkpoint journals the job's newest resumable state (raw JSON, opaque to
+// the farm). A restarted daemon re-queues the job from the last state this
+// call durably recorded. No-op for jobs without a journal.
+func (j *Job) Checkpoint(raw json.RawMessage) error {
+	if j.journal == nil {
+		return nil
+	}
+	return j.journal.setCheckpoint(j.id, raw)
 }
 
 // Result returns the job's outcome once Done is closed.
@@ -161,12 +172,13 @@ func (j *Job) Status() JobStatus {
 type Scheduler struct {
 	budget int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	avail  int
-	closed bool
-	nextID int
-	jobs   map[int]*Job
+	mu      sync.Mutex
+	cond    *sync.Cond
+	avail   int
+	closed  bool
+	nextID  int
+	jobs    map[int]*Job
+	journal *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -200,14 +212,48 @@ func (s *Scheduler) InUse() int {
 	return s.budget - s.avail
 }
 
+// SetJournal attaches a journal for SubmitDurable jobs. Attach it before
+// the first submission; the scheduler never writes to a journal it was not
+// given.
+func (s *Scheduler) SetJournal(jl *Journal) {
+	s.mu.Lock()
+	s.journal = jl
+	s.mu.Unlock()
+}
+
+// JobSpec describes a durable job: the scheduling knobs plus the opaque
+// payload a restarted daemon needs to rebuild it. Checkpoint carries an
+// initial resumable state when the job itself is a re-queued recovery.
+type JobSpec struct {
+	Name       string
+	Workers    int
+	Timeout    time.Duration
+	Payload    json.RawMessage
+	Checkpoint json.RawMessage
+}
+
 // Submit queues a job requesting the given number of workers (clamped to
 // the budget so it can always start) and returns immediately. A positive
 // timeout cancels the job that long after it starts running.
 func (s *Scheduler) Submit(name string, workers int, timeout time.Duration,
 	fn JobFunc) (*Job, error) {
+	return s.submit(JobSpec{Name: name, Workers: workers, Timeout: timeout},
+		fn, false)
+}
+
+// SubmitDurable is Submit for a job that must survive a daemon restart: the
+// spec is journaled before the job is visible, updated with every
+// Job.Checkpoint, and retired when the job reaches a terminal state — except
+// a shutdown, which leaves the entry behind for the next process to re-queue.
+func (s *Scheduler) SubmitDurable(spec JobSpec, fn JobFunc) (*Job, error) {
+	return s.submit(spec, fn, true)
+}
+
+func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("farm: nil job")
 	}
+	workers := spec.Workers
 	if workers < 1 {
 		workers = 1
 	}
@@ -219,20 +265,50 @@ func (s *Scheduler) Submit(name string, workers int, timeout time.Duration,
 		s.mu.Unlock()
 		return nil, fmt.Errorf("farm: scheduler closed")
 	}
+	journal := s.journal
+	if durable && journal == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("farm: durable submit without a journal")
+	}
 	s.nextID++
 	j := &Job{
 		id:        s.nextID,
-		name:      name,
+		name:      spec.Name,
 		workers:   workers,
 		state:     JobPending,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if durable {
+		j.journal = journal
+	}
 	s.jobs[j.id] = j
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.run(j, timeout, fn)
+	if durable {
+		// Journal before the job can run: a job that starts evaluating before
+		// its spec is durable could vanish in a crash.
+		err := journal.add(JournalEntry{
+			ID:         j.id,
+			Name:       spec.Name,
+			Workers:    workers,
+			TimeoutS:   spec.Timeout.Seconds(),
+			Spec:       spec.Payload,
+			Checkpoint: spec.Checkpoint,
+			State:      "pending",
+			Submitted:  j.submitted,
+		})
+		if err != nil {
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			s.mu.Unlock()
+			s.wg.Done()
+			return nil, err
+		}
+	}
+
+	go s.run(j, spec.Timeout, fn)
 	return j, nil
 }
 
@@ -260,6 +336,11 @@ func (s *Scheduler) run(j *Job, timeout time.Duration, fn JobFunc) {
 	j.started = time.Now()
 	j.cancel = cancel
 	j.mu.Unlock()
+	if j.journal != nil {
+		// Best-effort: the state string is informational; the entry itself —
+		// written at submit — is what recovery depends on.
+		_ = j.journal.setState(j.id, "running")
+	}
 
 	var (
 		res any
@@ -284,6 +365,10 @@ func isCtxErr(err error) bool {
 }
 
 func (s *Scheduler) finish(j *Job, res any, err error, canceled bool) {
+	s.mu.Lock()
+	shutdown := s.closed
+	s.mu.Unlock()
+
 	j.mu.Lock()
 	j.result = res
 	j.err = err
@@ -296,7 +381,20 @@ func (s *Scheduler) finish(j *Job, res any, err error, canceled bool) {
 	default:
 		j.state = JobDone
 	}
+	byUser := j.canceled
 	j.mu.Unlock()
+
+	if j.journal != nil {
+		// Retire the entry on any genuine terminal state — done, failed, user
+		// cancel, timeout. Only a shutdown-interrupted job stays journaled:
+		// that is the one the next process must re-queue. A job that managed
+		// to finish during the shutdown is done, not interrupted.
+		if shutdown && canceled && !byUser {
+			_ = j.journal.setState(j.id, "interrupted")
+		} else {
+			_ = j.journal.remove(j.id)
+		}
+	}
 	close(j.done)
 }
 
@@ -385,3 +483,27 @@ func (s *Scheduler) Close() {
 
 // Wait blocks until every submitted job has reached a terminal state.
 func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// Drain is the graceful shutdown: it closes the scheduler (cancelling every
+// job, which flushes each search's final checkpoint on its way out) and
+// waits up to timeout for the jobs to settle. It reports whether every job
+// finished in time; either way, interrupted durable jobs remain journaled
+// for the next process. timeout <= 0 waits forever.
+func (s *Scheduler) Drain(timeout time.Duration) bool {
+	s.Close()
+	if timeout <= 0 {
+		s.wg.Wait()
+		return true
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

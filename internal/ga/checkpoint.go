@@ -1,0 +1,123 @@
+package ga
+
+import (
+	"fmt"
+
+	"dstress/internal/bitvec"
+)
+
+// GenomeRecord is the serialized form of a Genome, covering the three
+// chromosome kinds the engine ships. It is the unit a search checkpoint
+// stores: unlike virusdb.Record it carries the gene bounds, so a population
+// can be rebuilt without consulting the spec that created it.
+type GenomeRecord struct {
+	Type string `json:"type"` // "bit", "int" or "mixed"
+	Bits string `json:"bits,omitempty"`
+	Vals []int  `json:"vals,omitempty"`
+	Lo   []int  `json:"lo,omitempty"` // int: one element; mixed: per gene
+	Hi   []int  `json:"hi,omitempty"`
+}
+
+// EncodeGenome serializes a chromosome. It fails on genome types it does not
+// know: a checkpoint that silently dropped chromosomes could never restore
+// the population it claims to hold.
+func EncodeGenome(g Genome) (GenomeRecord, error) {
+	switch t := g.(type) {
+	case *BitGenome:
+		return GenomeRecord{Type: "bit", Bits: t.Bits.BitString()}, nil
+	case *IntGenome:
+		return GenomeRecord{
+			Type: "int",
+			Vals: append([]int(nil), t.Vals...),
+			Lo:   []int{t.Lo},
+			Hi:   []int{t.Hi},
+		}, nil
+	case *MixedGenome:
+		return GenomeRecord{
+			Type: "mixed",
+			Vals: append([]int(nil), t.Vals...),
+			Lo:   append([]int(nil), t.Lo...),
+			Hi:   append([]int(nil), t.Hi...),
+		}, nil
+	}
+	return GenomeRecord{}, fmt.Errorf("ga: cannot serialize genome type %T", g)
+}
+
+// DecodeGenome rebuilds a chromosome from its serialized form, validating
+// bounds and encodings so a damaged checkpoint fails loudly instead of
+// resuming from corrupt state.
+func DecodeGenome(rec GenomeRecord) (Genome, error) {
+	switch rec.Type {
+	case "bit":
+		v, err := bitvec.Parse(rec.Bits)
+		if err != nil {
+			return nil, fmt.Errorf("ga: bit genome: %w", err)
+		}
+		return &BitGenome{Bits: v}, nil
+	case "int":
+		if len(rec.Lo) != 1 || len(rec.Hi) != 1 {
+			return nil, fmt.Errorf("ga: int genome with %d/%d bounds",
+				len(rec.Lo), len(rec.Hi))
+		}
+		return NewIntGenome(append([]int(nil), rec.Vals...), rec.Lo[0], rec.Hi[0])
+	case "mixed":
+		return NewMixedGenome(append([]int(nil), rec.Vals...),
+			append([]int(nil), rec.Lo...), append([]int(nil), rec.Hi...))
+	}
+	return nil, fmt.Errorf("ga: unknown genome type %q", rec.Type)
+}
+
+// Snapshot is the engine's resumable state, captured at a generation
+// boundary: the evaluated, sorted population, the RNG position before the
+// next generation is bred, and the bookkeeping a resumed Result must carry
+// forward. A search resumed from a Snapshot continues the exact
+// deterministic stream — its remaining generations, final population and
+// history are bit-identical to the uninterrupted run's.
+type Snapshot struct {
+	Generation  int            `json:"generation"`
+	Population  []GenomeRecord `json:"population"`
+	Fitnesses   []float64      `json:"fitnesses"`
+	RNG         [4]uint64      `json:"rng"`
+	Evaluations int            `json:"evaluations"`
+	History     []GenStats     `json:"history,omitempty"`
+}
+
+// snapshot captures the engine state at the current generation boundary.
+// pop is sorted by descending fitness and the engine RNG has not yet been
+// consumed for the next generation's breeding.
+func (e *Engine) snapshot(gen int, pop []Genome, fits []float64,
+	history []GenStats) (Snapshot, error) {
+	s := Snapshot{
+		Generation:  gen,
+		Population:  make([]GenomeRecord, len(pop)),
+		Fitnesses:   append([]float64(nil), fits...),
+		RNG:         e.rng.State(),
+		Evaluations: e.Evaluations,
+		History:     append([]GenStats(nil), history...),
+	}
+	for i, g := range pop {
+		rec, err := EncodeGenome(g)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		s.Population[i] = rec
+	}
+	return s, nil
+}
+
+// validate checks the structural invariants a snapshot must satisfy before
+// an engine built with params may resume from it.
+func (s Snapshot) validate(p Params) error {
+	switch {
+	case len(s.Population) != p.PopulationSize:
+		return fmt.Errorf("ga: snapshot population %d, engine expects %d",
+			len(s.Population), p.PopulationSize)
+	case len(s.Fitnesses) != len(s.Population):
+		return fmt.Errorf("ga: snapshot has %d fitnesses for %d genomes",
+			len(s.Fitnesses), len(s.Population))
+	case s.Generation < 1 || s.Generation > p.MaxGenerations:
+		return fmt.Errorf("ga: snapshot generation %d outside [1,%d]",
+			s.Generation, p.MaxGenerations)
+	}
+	return nil
+}

@@ -142,6 +142,13 @@ type Engine struct {
 	// they are recorded — progress reporting for long-running campaigns.
 	OnGeneration func(GenStats)
 
+	// OnSnapshot, when non-nil, receives a resumable Snapshot at every
+	// generation boundary, right after OnGeneration. The snapshot is an
+	// independent copy; the receiver may retain or persist it. Capturing it
+	// costs one population clone per generation, so the hook is only paid
+	// for when set.
+	OnSnapshot func(Snapshot)
+
 	// Evaluations counts fitness calls, for the efficiency analysis.
 	Evaluations int
 }
@@ -208,25 +215,81 @@ func (e *Engine) RunContext(ctx context.Context, initial []Genome) (Result, erro
 		return Result{}, err
 	}
 	e.Evaluations += len(pop)
+	return e.evolve(ctx, pop, fits, 1, Result{}, false)
+}
 
+// Resume is ResumeContext under context.Background.
+func (e *Engine) Resume(snap Snapshot) (Result, error) {
+	return e.ResumeContext(context.Background(), snap)
+}
+
+// ResumeContext continues a search from a Snapshot captured by a previous
+// engine's OnSnapshot hook. The engine must be configured with the same
+// Params and fitness function as the original; its RNG is overwritten with
+// the snapshot's recorded position, so the remaining generations replay the
+// exact deterministic stream and the final Result is bit-identical to the
+// uninterrupted run's.
+func (e *Engine) ResumeContext(ctx context.Context, snap Snapshot) (Result, error) {
+	p := e.params
+	if p.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.MaxDuration)
+		defer cancel()
+	}
+	if err := snap.validate(p); err != nil {
+		return Result{}, err
+	}
+	pop := make([]Genome, len(snap.Population))
+	for i, rec := range snap.Population {
+		g, err := DecodeGenome(rec)
+		if err != nil {
+			return Result{}, fmt.Errorf("ga: resuming genome %d: %w", i, err)
+		}
+		pop[i] = g
+	}
+	fits := append([]float64(nil), snap.Fitnesses...)
+	if err := e.rng.Restore(snap.RNG); err != nil {
+		return Result{}, fmt.Errorf("ga: resuming: %w", err)
+	}
+	e.Evaluations = snap.Evaluations
+	res := Result{History: append([]GenStats(nil), snap.History...)}
+	return e.evolve(ctx, pop, fits, snap.Generation, res, true)
+}
+
+// evolve runs the generation loop from startGen over an already evaluated
+// population. When resumed, the first iteration's statistics were already
+// recorded by the original run (they ride in via res.History), so stats
+// recording and the hooks are skipped for it; the convergence check, which
+// consumes no randomness, is deterministically redone.
+func (e *Engine) evolve(ctx context.Context, pop []Genome, fits []float64,
+	startGen int, res Result, resumed bool) (Result, error) {
+	p := e.params
 	perGene := p.MutationPerGene
 	if perGene == 0 {
 		perGene = 1.5 / float64(pop[0].Len())
 	}
 
-	res := Result{}
-	for gen := 1; gen <= p.MaxGenerations; gen++ {
+	for gen := startGen; gen <= p.MaxGenerations; gen++ {
 		sortByFitness(pop, fits)
 		sim := meanPairwiseSimilarity(pop)
-		st := GenStats{
-			Generation: gen,
-			Best:       fits[0],
-			Mean:       mean(fits),
-			Similarity: sim,
-		}
-		res.History = append(res.History, st)
-		if e.OnGeneration != nil {
-			e.OnGeneration(st)
+		if !(resumed && gen == startGen) {
+			st := GenStats{
+				Generation: gen,
+				Best:       fits[0],
+				Mean:       mean(fits),
+				Similarity: sim,
+			}
+			res.History = append(res.History, st)
+			if e.OnGeneration != nil {
+				e.OnGeneration(st)
+			}
+			if e.OnSnapshot != nil {
+				snap, err := e.snapshot(gen, pop, fits, res.History)
+				if err != nil {
+					return Result{}, err
+				}
+				e.OnSnapshot(snap)
+			}
 		}
 		res.Generations = gen
 		res.FinalSimilarity = sim

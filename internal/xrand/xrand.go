@@ -11,7 +11,10 @@
 // under our control and stable across Go releases.
 package xrand
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Rand is a xoshiro256** generator. The zero value is invalid; use New.
 type Rand struct {
@@ -35,6 +38,32 @@ func New(seed uint64) *Rand {
 		r.s[0] = 1
 	}
 	return r
+}
+
+// State captures the generator's four state words. Together with Restore it
+// lets a checkpointed search continue the exact deterministic stream: a
+// generator restored from a State produces the same values the original
+// would have produced next.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator state with a previously captured State.
+// The all-zero state is invalid for xoshiro (the stream would be constant
+// zero) and is rejected.
+func (r *Rand) Restore(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("xrand: all-zero state")
+	}
+	r.s = s
+	return nil
+}
+
+// FromState builds a generator positioned at a previously captured State.
+func FromState(s [4]uint64) (*Rand, error) {
+	r := &Rand{}
+	if err := r.Restore(s); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
