@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check resume-test bench experiments experiments-full fuzz clean
+.PHONY: all build test test-short check resume-test bench bench-json experiments experiments-full fuzz clean
 
 all: build test
 
@@ -18,15 +18,19 @@ test-short:
 
 # Static checks + the race detector over the whole tree, with a quick
 # short-mode -race pass over the concurrency-heavy packages first so their
-# failures surface before the long campaign tests run, and a focused
-# checkpoint/resume pass over the durability-critical packages. The full
-# pass needs an explicit -timeout: the campaign test runs ~90s natively,
-# and the race detector's slowdown pushes it past go test's 600s default.
+# failures surface before the long campaign tests run, a focused
+# checkpoint/resume pass over the durability-critical packages, and one
+# iteration of each dram micro-benchmark under -race so the evaluation fast
+# path stays race-clean against farm workers sharing cloned servers. The
+# full pass needs an explicit -timeout: the campaign test runs ~90s
+# natively, and the race detector's slowdown pushes it past go test's 600s
+# default.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./internal/farm ./internal/ga ./internal/virusdb
 	$(GO) test -race -run 'Checkpoint|Resume|Journal|Snapshot' \
 		./internal/checkpoint ./internal/ga ./internal/core ./internal/farm
+	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./internal/dram
 	$(GO) test -race -timeout 30m ./...
 
 # Kill-and-resume integration: SIGKILL a live dstressd mid-search, restart
@@ -37,8 +41,21 @@ resume-test:
 	$(GO) test -v -run 'TestDaemonKillResumeIntegration' ./cmd/dstressd
 	$(GO) test -run 'TestRunSearchFrom|TestResume' ./internal/core ./internal/ga
 
+# The benchmark story: the top-level figure benchmarks (one quick-scale
+# regeneration each) plus the evaluation-path micro-benchmarks (dram fast
+# path vs reference, farm speedup). bench prints; bench-json also snapshots
+# the results — including the fast-vs-reference speedup ratios — into a
+# dated BENCH_<date>.json for the perf trajectory.
+BENCH_FIGS  = $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 60m .
+BENCH_MICRO = $(GO) test -run '^$$' -bench . -benchmem ./internal/dram ./internal/farm ./internal/ecc
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(BENCH_FIGS)
+	$(BENCH_MICRO)
+
+bench-json:
+	{ $(BENCH_FIGS) ; $(BENCH_MICRO) ; } \
+		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json
 
 # Quick-scale campaign: every figure in a couple of minutes.
 experiments:

@@ -38,8 +38,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -507,6 +509,14 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /api/virusdb", d.getVirusDB)
 	mux.HandleFunc("GET /metrics", d.getMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	// Live profiling of a running campaign: `go tool pprof
+	// http://host/debug/pprof/profile` diagnoses evaluation-path
+	// regressions without restarting the daemon.
+	mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
 	return mux
 }
 
@@ -540,7 +550,25 @@ func main() {
 		"graceful-shutdown deadline for running jobs to checkpoint and exit")
 	rows := flag.Int("rows", 16, "default rows per bank of simulated DIMMs")
 	seed := flag.Uint64("seed", 2020, "default deterministic seed")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a CPU profile of the daemon's lifetime to this file "+
+			"(live profiles are always available at /debug/pprof/)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("dstressd: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("dstressd: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Printf("dstressd: CPU profile written to %s", *cpuprofile)
+		}()
+	}
 
 	var db *virusdb.DB
 	if *dbPath != "" {

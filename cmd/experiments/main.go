@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -25,7 +27,40 @@ func main() {
 	ext := flag.Bool("ext", false,
 		"also run the Section-VI extension experiments (March, rowhammer, profiling, maintenance)")
 	markdown := flag.String("markdown", "", "write a markdown summary to this file")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a CPU profile of the campaign to this file")
+	memprofile := flag.String("memprofile", "",
+		"write a heap profile at campaign end to this file")
 	flag.Parse()
+
+	// Profiles cover the whole campaign; they are only written on a clean
+	// exit (fatal() skips them).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -22,5 +22,7 @@ func (d *Device) Age(factor float64) error {
 	for i := range d.clusters {
 		d.clusters[i].Tau0 *= clusterFactor
 	}
+	// Retention times feed the compiled evaluation plan.
+	d.dirty()
 	return nil
 }

@@ -2,7 +2,6 @@ package dram
 
 import (
 	"fmt"
-	"sort"
 
 	"dstress/internal/addrmap"
 	"dstress/internal/xrand"
@@ -88,7 +87,21 @@ type Device struct {
 
 	scrambleSalt uint64
 	phaseSalt    uint64
+
+	weakRows []RowKey // rows holding defects, sorted; frozen after NewDevice
+
+	// gen counts mutations of evaluation-relevant state (row images via
+	// WriteWord/FillRow/FillRowWords/Reset, defect parameters via Age). The
+	// compiled evaluation plan (plan.go) and its scratch buffers are keyed
+	// on it; a stale generation triggers recompilation on the next Run.
+	gen        uint64
+	plan       *evalPlan
+	envScratch []float64
 }
+
+// dirty invalidates the compiled evaluation plan. Every mutator of state
+// that Run reads must call it.
+func (d *Device) dirty() { d.gen++ }
 
 // ClusterBitPositions are the in-word data bits occupied by every defect
 // cluster. The paper's Fig 8d observation — bits 17, 18, 21 and 22 are '0'
@@ -119,6 +132,7 @@ func NewDevice(cfg Config) (*Device, error) {
 	d.sampleWeakCells(root.Split())
 	d.sampleClusters(root.Split())
 	d.sampleRemaps(root.Split())
+	d.weakRows = d.computeWeakRows()
 	return d, nil
 }
 
@@ -302,6 +316,7 @@ func (d *Device) WriteWord(l addrmap.Loc, v uint64) {
 		d.rows[k] = img
 	}
 	img[l.Col] = v
+	d.dirty()
 }
 
 // ReadWord returns the stored word and whether the row has been written.
@@ -313,14 +328,19 @@ func (d *Device) ReadWord(l addrmap.Loc) (uint64, bool) {
 	return img[l.Col], true
 }
 
-// RowImage returns the raw words of a row, or nil if never written.
+// RowImage returns the raw words of a row, or nil if never written. The
+// slice is the live image: callers must treat it as read-only and write
+// through WriteWord/FillRow, or the evaluation plan goes stale unnoticed.
 func (d *Device) RowImage(k RowKey) []uint64 { return d.rows[k] }
 
 // RowWritten reports whether the row holds data.
 func (d *Device) RowWritten(k RowKey) bool { _, ok := d.rows[k]; return ok }
 
 // Reset discards all stored data (power cycle), keeping the defect map.
-func (d *Device) Reset() { d.rows = make(map[RowKey][]uint64) }
+func (d *Device) Reset() {
+	d.rows = make(map[RowKey][]uint64)
+	d.dirty()
+}
 
 // WeakCells returns the defect map's weak cells (shared slice; read only).
 func (d *Device) WeakCells() []WeakCell { return d.weak }
@@ -330,8 +350,15 @@ func (d *Device) Clusters() []Cluster { return d.clusters }
 
 // WeakRows returns the keys of all rows containing weak cells or clusters,
 // sorted by (rank, bank, row). These are the "error-prone rows" the paper's
-// 24-KByte and access templates target.
+// 24-KByte and access templates target. The set is computed once at
+// construction — defect positions are immutable for the device's lifetime
+// (Age only rescales retention times) — and returned as a fresh copy.
 func (d *Device) WeakRows() []RowKey {
+	return append([]RowKey(nil), d.weakRows...)
+}
+
+// computeWeakRows builds the sorted defect-row set for WeakRows.
+func (d *Device) computeWeakRows() []RowKey {
 	set := make(map[RowKey]bool, len(d.weakByRow)+len(d.clustersByRow))
 	for k := range d.weakByRow {
 		set[k] = true
@@ -343,16 +370,7 @@ func (d *Device) WeakRows() []RowKey {
 	for k := range set {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Rank != b.Rank {
-			return a.Rank < b.Rank
-		}
-		if a.Bank != b.Bank {
-			return a.Bank < b.Bank
-		}
-		return a.Row < b.Row
-	})
+	sortRowKeys(keys)
 	return keys
 }
 

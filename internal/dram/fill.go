@@ -17,6 +17,7 @@ func (d *Device) FillRow(k RowKey, word uint64) {
 	for i := range img {
 		img[i] = word
 	}
+	d.dirty()
 }
 
 // FillRowWords copies a row image (one uint64 per column). Short images
@@ -33,6 +34,7 @@ func (d *Device) FillRowWords(k RowKey, words []uint64) {
 	for i := range img {
 		img[i] = words[i%len(words)]
 	}
+	d.dirty()
 }
 
 // FillAll fills every row of the device using the word function.

@@ -86,7 +86,125 @@ type flipKey struct {
 // defect cluster located in a written row is tested against the retention
 // model, the resulting bit flips are grouped per word, and each corrupted
 // word is pushed through the SECDED decoder to classify it as CE, UE or SDC.
+//
+// Run executes on the compiled evaluation plan (see plan.go): everything
+// that depends only on the written state is resolved once per state, and
+// each run applies only the operating conditions, the stochastic VRT/jitter
+// terms and the threshold compares. Results — including the RNG stream
+// consumed and the Errors log — are bit-identical to the retained reference
+// path (runReference), which the differential suite enforces. Errors are
+// sorted by (rank, bank, row, word col).
+//
+// A Device is not safe for concurrent use; the farm gives every worker its
+// own clone.
 func (d *Device) Run(p RunParams) (RunResult, error) {
+	if err := p.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	phys := d.cfg.Physics
+	pl := d.planFor()
+
+	if cap(d.envScratch) < d.geom.Ranks {
+		d.envScratch = make([]float64, d.geom.Ranks)
+	}
+	envByRank := d.envScratch[:d.geom.Ranks]
+	for rank := range envByRank {
+		temp := p.TempC
+		if t, ok := p.TempByRank[rank]; ok {
+			temp = t
+		}
+		envByRank[rank] = phys.tempFactor(temp) * phys.vddFactor(p.VDD)
+	}
+
+	rng := p.RNG
+	for ri := range pl.rows {
+		row := &pl.rows[ri]
+		hammer := d.hammerFor(row.key, p.ActsPerWindow)
+		envFactor := envByRank[row.key.Rank]
+		trefp := p.TREFP
+		if t, ok := p.TREFPByRow[row.key]; ok {
+			trefp = t
+		}
+		hammerDiv := 1 + phys.HammerBeta*hammer
+		clHammerDiv := 1 + phys.ClusterHammerB*hammer
+
+		for i := row.cellLo; i < row.cellHi; i++ {
+			c := &pl.cells[i]
+			tau := c.tau0 * envFactor
+			if c.vrt && rng.Bool(0.5) {
+				tau *= c.vrtMult
+			}
+			tau /= c.couplingDiv
+			tau /= hammerDiv
+			var fails bool
+			if c.charged {
+				fails = tau < trefp
+			} else {
+				fails = tau*phys.GainFactor < trefp
+			}
+			if fails {
+				pl.addFlip(c.cand, int(c.bit))
+			}
+		}
+
+		for i := row.clLo; i < row.clHi; i++ {
+			k := &pl.clusters[i]
+			jitter := math.Exp(rng.Norm(0, phys.ClusterJitter))
+			tau := k.tau0 * envFactor * jitter
+			tau /= k.clusterDiv
+			tau /= clHammerDiv
+			if tau >= trefp*pl.partialBand {
+				continue
+			}
+			if tau >= trefp {
+				pl.addFlip(k.cand, int(k.partialBit))
+				continue
+			}
+			for _, b := range k.fullBits {
+				pl.addFlip(k.cand, b)
+			}
+		}
+	}
+
+	// Classify the corrupted words in index order — candidates are laid out
+	// row-major with ascending word columns, so the log comes out sorted.
+	// Touched indices can be out of order only within one row.
+	sort.Ints(pl.touched)
+	res := RunResult{CEByRank: make(map[int]int)}
+	for _, wi := range pl.touched {
+		bits := pl.flips[wi]
+		pw := &pl.words[wi]
+		word := pw.enc
+		for _, b := range bits {
+			word = word.FlipBit(b)
+		}
+		dec := ecc.Decode(word)
+		we := WordError{Key: pw.key, WordCol: pw.col,
+			Flips: append([]int(nil), bits...), Status: dec.Status}
+		switch {
+		case dec.Status == ecc.Uncorrectable:
+			res.UE++
+		case dec.Data != pw.original:
+			we.SDC = true
+			res.SDC++
+		case dec.Status == ecc.Corrected:
+			res.CE++
+			res.CEByRank[int(pw.key.Rank)]++
+		}
+		res.Errors = append(res.Errors, we)
+		pl.flips[wi] = bits[:0]
+	}
+	pl.touched = pl.touched[:0]
+	return res, nil
+}
+
+// runReference is the direct (plan-free) evaluation the fast path is
+// verified against: it re-derives row order, physical positions, charge
+// states and couplings on every run. It must stay semantically frozen — the
+// differential suite in plan_test.go runs it against Run across seeds,
+// temperatures, scrambled/remapped rows, hammer patterns and per-row TREFP
+// overrides and requires bit-identical results.
+func (d *Device) runReference(p RunParams) (RunResult, error) {
 	if err := p.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -108,16 +226,7 @@ func (d *Device) Run(p RunParams) (RunResult, error) {
 	for key := range d.rows {
 		keys = append(keys, key)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Rank != b.Rank {
-			return a.Rank < b.Rank
-		}
-		if a.Bank != b.Bank {
-			return a.Bank < b.Bank
-		}
-		return a.Row < b.Row
-	})
+	sortRowKeys(keys)
 
 	for _, key := range keys {
 		hammer := d.hammerFor(key, p.ActsPerWindow)
@@ -141,8 +250,29 @@ func (d *Device) Run(p RunParams) (RunResult, error) {
 		}
 	}
 
+	// Log errors in (rank, bank, row, word col) order, not map order: the
+	// error log of two identical runs must be identical.
+	fks := make([]flipKey, 0, len(flips))
+	for fk := range flips {
+		fks = append(fks, fk)
+	}
+	sort.Slice(fks, func(i, j int) bool {
+		a, b := fks[i], fks[j]
+		if a.key != b.key {
+			if a.key.Rank != b.key.Rank {
+				return a.key.Rank < b.key.Rank
+			}
+			if a.key.Bank != b.key.Bank {
+				return a.key.Bank < b.key.Bank
+			}
+			return a.key.Row < b.key.Row
+		}
+		return a.col < b.col
+	})
+
 	res := RunResult{CEByRank: make(map[int]int)}
-	for fk, bits := range flips {
+	for _, fk := range fks {
+		bits := flips[fk]
 		img := d.rows[fk.key]
 		original := img[fk.col]
 		word := ecc.Encode(original)
@@ -289,7 +419,7 @@ func (d *Device) storedBit(key RowKey, col, bit int) (bool, bool) {
 	if bit < 64 {
 		return img[col]&(1<<uint(bit)) != 0, true
 	}
-	check := ecc.Encode(img[col]).Check
+	check := ecc.Checksum(img[col])
 	return check&(1<<uint(bit-64)) != 0, true
 }
 

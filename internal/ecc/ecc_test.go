@@ -189,3 +189,28 @@ func BenchmarkDecodeCorrect(b *testing.B) {
 		_ = Decode(w)
 	}
 }
+
+// TestChecksumTablesMatchReference pins the byte-sliced encode tables to the
+// definition-level column walk: every checksum the fast path produces must
+// equal the reference parity computation.
+func TestChecksumTablesMatchReference(t *testing.T) {
+	rng := xrand.New(2020)
+	cases := []uint64{0, ^uint64(0), 0x3333333333333333, 0xAAAAAAAAAAAAAAAA}
+	for i := 0; i < 10000; i++ {
+		cases = append(cases, rng.Uint64())
+	}
+	for _, data := range cases {
+		if got, want := checksum(data), checksumRef(data); got != want {
+			t.Fatalf("checksum(%#x) = %#x, reference %#x", data, got, want)
+		}
+		if Checksum(data) != Encode(data).Check {
+			t.Fatalf("Checksum(%#x) disagrees with Encode", data)
+		}
+	}
+}
+
+func BenchmarkChecksumRef(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = checksumRef(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

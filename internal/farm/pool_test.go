@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dstress/internal/dram"
 	"dstress/internal/ga"
 	"dstress/internal/xrand"
 )
@@ -320,10 +321,16 @@ func TestGenomeKey(t *testing.T) {
 }
 
 // BenchmarkFarmSpeedup contrasts a serial evaluation of one 40-virus
-// generation with the 8-worker farm. The per-virus dwell models the paper's
-// measurement latency (a real evaluation holds the DIMM for the refresh
-// windows being tested, it does not saturate a CPU), so the farm's win is
-// overlap, not parallel arithmetic:
+// generation with the 8-worker farm, in two regimes:
+//
+//   - "dwell" models the paper's measurement latency (a real testbed holds
+//     the DIMM for the refresh windows being tested, it does not saturate a
+//     CPU), so the farm's win is overlap, not parallel arithmetic;
+//   - "sim" is the real thing: each worker owns a cloned quick-scale device
+//     (the cloned-server pattern of core.NewEvalPool) and every evaluation
+//     deploys the chromosome as a uniform fill and runs the ten-run
+//     averaging batch through the dram fast path. This is the number the
+//     evaluation-plan work multiplies.
 //
 //	go test -bench FarmSpeedup -benchtime 5x ./internal/farm/
 func BenchmarkFarmSpeedup(b *testing.B) {
@@ -334,20 +341,41 @@ func BenchmarkFarmSpeedup(b *testing.B) {
 			return noisyEval(g, rng)
 		}, nil
 	}
-	gs := intPopulation(40, 1)
-	for _, workers := range []int{1, 8} {
-		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
-			pool, err := NewPool(workers, xrand.New(1), slow)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := pool.EvaluateBatch(context.Background(), gs); err != nil {
+	sim := func(w int) (EvalFunc, error) {
+		dev, err := dram.NewDevice(dram.DefaultConfig(16, 7))
+		if err != nil {
+			return nil, err
+		}
+		p := dram.RunParams{TREFP: 2.283, TempC: 60, VDD: 1.428}
+		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+			word := g.(*ga.BitGenome).Bits.Uint64()
+			dev.FillAllUniform(word)
+			ce, _, _, err := dev.AverageRuns(p, 10, rng)
+			return ce, err
+		}, nil
+	}
+	for _, bench := range []struct {
+		name    string
+		factory WorkerFactory
+		gs      []ga.Genome
+	}{
+		{"dwell", slow, intPopulation(40, 1)},
+		{"sim", sim, bitPopulation(40, 1)},
+	} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", bench.name, workers), func(b *testing.B) {
+				pool, err := NewPool(workers, xrand.New(1), bench.factory)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pool.EvaluateBatch(context.Background(), bench.gs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -233,11 +233,17 @@ func Run(dev *dram.Device, t Test, cond Conditions) (Result, error) {
 				if img == nil {
 					continue
 				}
+				word := img[we.WordCol]
 				for _, bit := range we.Flips {
 					if bit < 64 {
-						img[we.WordCol] ^= 1 << uint(bit)
+						word ^= 1 << uint(bit)
 					}
 				}
+				// Write through the device, not the raw image: mutating the
+				// RowImage slice would leave the evaluation plan stale.
+				loc := we.Key.Loc()
+				loc.Col = we.WordCol
+				dev.WriteWord(loc, word)
 			}
 		}
 		forEachRow(e.Order, func(k dram.RowKey) {
@@ -257,8 +263,11 @@ func Run(dev *dram.Device, t Test, cond Conditions) (Result, error) {
 							// Reads refresh the row through the sense
 							// amplifiers: restore the expected value so
 							// later elements see clean data, as real March
-							// runs do after logging.
-							img[col] = want
+							// runs do after logging. Restored through the
+							// device so the evaluation plan sees the write.
+							loc := k.Loc()
+							loc.Col = col
+							dev.WriteWord(loc, want)
 						}
 					}
 				} else {
