@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check resume-test bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test test-short check resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
 
 all: build test
 
@@ -27,7 +27,7 @@ test-short:
 # default.
 check:
 	$(GO) vet ./...
-	$(GO) test -race -short ./internal/farm ./internal/ga ./internal/virusdb
+	$(GO) test -race -short ./internal/farm ./internal/fleet ./internal/ga ./internal/virusdb
 	$(GO) test -race -run 'Checkpoint|Resume|Journal|Snapshot' \
 		./internal/checkpoint ./internal/ga ./internal/core ./internal/farm
 	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./internal/dram
@@ -40,6 +40,15 @@ check:
 resume-test:
 	$(GO) test -v -run 'TestDaemonKillResumeIntegration' ./cmd/dstressd
 	$(GO) test -run 'TestRunSearchFrom|TestResume' ./internal/core ./internal/ga
+
+# Distributed-fabric integration: a coordinator daemon plus two real worker
+# subprocesses, one SIGKILLed mid-job (its shard must re-queue onto the
+# survivor), and the in-process 1/2/4-worker fleet — every configuration
+# required to finish bit-identical to the purely local farm.Pool run.
+fleet-test:
+	$(GO) test -v -run 'TestFleetKillWorkerIntegration' ./cmd/dstressd
+	$(GO) test -run 'TestFleetEndToEndBitIdentical' ./cmd/dstressd
+	$(GO) test -race ./internal/fleet
 
 # The benchmark story: the top-level figure benchmarks (one quick-scale
 # regeneration each) plus the evaluation-path micro-benchmarks (dram fast

@@ -8,6 +8,12 @@
 //
 //	dstressd -addr :8080 -budget 8 [-db viruses.json] [-journal jobs.journal]
 //	         [-drain 30s] [-rows 16] [-seed 2020]
+//	dstressd -worker -coordinator http://host:8080 [-worker-name n2]
+//
+// The second form joins another dstressd as a fleet worker: the daemon
+// shards each generation's evaluations over whatever workers are registered
+// (internal/fleet), with results bit-identical to the purely local run at
+// any worker count — including zero, which degrades to the local farm.
 //
 // With -journal, jobs are durable: every submission is journaled before it
 // runs and every search checkpoints each generation, so a daemon killed
@@ -25,8 +31,12 @@
 //	GET  /api/jobs/{id}/wait  the same, but blocks until the job finishes
 //	POST /api/jobs/{id}/cancel
 //	GET  /api/virusdb         experiments, or ?experiment=...&top=N records
-//	GET  /metrics             farm/cache/scheduler counters as JSON
+//	GET  /metrics             farm/cache/scheduler/fleet counters as JSON
 //	GET  /debug/vars          the same, expvar-style
+//	POST /api/fleet/{join,heartbeat,lease,report}  the fleet worker protocol
+//
+// Unknown endpoints and unknown job ids answer with a JSON error body, so
+// fleet clients can tell "gone" from a transport failure.
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 
 	"dstress/internal/core"
 	"dstress/internal/farm"
+	"dstress/internal/fleet"
 	"dstress/internal/ga"
 	"dstress/internal/server"
 	"dstress/internal/virusdb"
@@ -63,12 +74,13 @@ type daemon struct {
 	journal *farm.Journal // may be nil (jobs die with the process)
 	cache   *farm.Cache
 	metrics *farm.Metrics
+	fleet   *fleet.Coordinator
 	rows    int
 	seed    uint64
 }
 
 func newDaemon(budget, rows int, seed uint64, db *virusdb.DB,
-	journal *farm.Journal) (*daemon, error) {
+	journal *farm.Journal, fcfg fleet.Config) (*daemon, error) {
 	sched, err := farm.NewScheduler(budget)
 	if err != nil {
 		return nil, err
@@ -84,6 +96,7 @@ func newDaemon(budget, rows int, seed uint64, db *virusdb.DB,
 		journal: journal,
 		cache:   cache,
 		metrics: farm.NewMetrics(),
+		fleet:   fleet.NewCoordinator(fcfg),
 		rows:    rows,
 		seed:    seed,
 	}, nil
@@ -249,7 +262,13 @@ func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := d.launch(p, nil)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err)
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, farm.ErrBudgetExceeded) {
+			// The client asked for more than this daemon will ever have; a
+			// retry without changing the request cannot succeed.
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
@@ -270,6 +289,14 @@ func (d *daemon) recoverJobs() {
 		if err != nil {
 			log.Printf("dstressd: journal entry %d (%s): %v", e.ID, e.Name, err)
 			continue
+		}
+		if budget := d.sched.Budget(); p.req.Workers > budget {
+			// Durable submissions are rejected, not clamped, when they exceed
+			// the budget — but a journaled job must not be lost just because
+			// the daemon restarted smaller. Shrink it explicitly and say so.
+			log.Printf("dstressd: journal entry %d (%s): %d workers exceed "+
+				"budget %d, clamping", e.ID, e.Name, p.req.Workers, budget)
+			p.req.Workers = budget
 		}
 		j, err := d.launch(p, e.Checkpoint)
 		if err != nil {
@@ -322,6 +349,15 @@ func (d *daemon) runSearch(ctx context.Context, j *farm.Job, p prepared,
 		OnGeneration: func(st ga.GenStats) {
 			j.Progress(st.Generation, maxGen, st.Best)
 		},
+	}
+	// Every search runs through the fleet session: with no remote workers
+	// registered it degrades to the local pool bit-identically, and any
+	// worker that joins mid-campaign starts absorbing shards immediately.
+	// The shipped context is the default-filled request — everything a
+	// worker needs to rebuild the evaluation environment.
+	if evalCtx, err := json.Marshal(p.req); err == nil {
+		cfg.Fleet = d.fleet
+		cfg.FleetContext = evalCtx
 	}
 	if d.journal != nil {
 		cfg.CheckpointEvery = req.CheckpointEvery
@@ -466,6 +502,7 @@ type metricsView struct {
 		InUse  int              `json:"in_use"`
 		Jobs   []farm.JobStatus `json:"jobs"`
 	} `json:"scheduler"`
+	Fleet fleet.Status `json:"fleet"`
 }
 
 func (d *daemon) metricsView() metricsView {
@@ -475,6 +512,7 @@ func (d *daemon) metricsView() metricsView {
 	mv.Sched.Budget = d.sched.Budget()
 	mv.Sched.InUse = d.sched.InUse()
 	mv.Sched.Jobs = d.sched.Jobs()
+	mv.Fleet = d.fleet.Snapshot()
 	return mv
 }
 
@@ -517,6 +555,14 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	d.fleet.Mount(mux)
+	// JSON everywhere: fleet clients (and everyone else) must be able to
+	// tell a "no such resource" apart from a transport failure without
+	// parsing Go's plain-text 404 page.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
 	return mux
 }
 
@@ -540,6 +586,60 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// buildFleetEvaluator turns a shipped evaluation context (the coordinator's
+// default-filled job request) into the evaluator a farm worker runs. The
+// server is built fresh from the same configuration a coordinator-side farm
+// clone rebuilds from, so both measure identically.
+func buildFleetEvaluator(evalCtx json.RawMessage) (farm.EvalFunc, error) {
+	var req jobRequest
+	if err := json.Unmarshal(evalCtx, &req); err != nil {
+		return nil, fmt.Errorf("bad evaluation context: %w", err)
+	}
+	fill := uint64(0x3333333333333333)
+	if req.Fill != "" {
+		v, err := strconv.ParseUint(req.Fill, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fill: %w", err)
+		}
+		fill = v
+	}
+	spec, err := buildSpec(req.Template, fill)
+	if err != nil {
+		return nil, err
+	}
+	crit, err := buildCriterion(req.Criterion)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.DefaultConfig(req.Rows, req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 10 // the framework default the coordinator runs under
+	}
+	return core.NewWorkerEvaluator(srv, spec, crit, core.Relaxed(req.TempC),
+		server.MCU2, runs)
+}
+
+// runWorker is worker mode: serve a remote coordinator until interrupted.
+func runWorker(coordinator, name string) {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := fleet.NewWorker(coordinator, name, buildFleetEvaluator,
+		fleet.WithLogf(log.Printf))
+	log.Printf("dstressd: worker %q serving coordinator %s", name, coordinator)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("dstressd: worker: %v", err)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	budget := flag.Int("budget", 8, "global worker budget shared by all jobs")
@@ -553,7 +653,25 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "",
 		"write a CPU profile of the daemon's lifetime to this file "+
 			"(live profiles are always available at /debug/pprof/)")
+	workerMode := flag.Bool("worker", false,
+		"run as a fleet worker serving a remote coordinator instead of a daemon")
+	coordinator := flag.String("coordinator", "",
+		"coordinator base URL for -worker mode, e.g. http://host:8080")
+	workerName := flag.String("worker-name", "",
+		"worker display name in the coordinator's metrics (default host-pid)")
+	fleetLease := flag.Duration("fleet-lease", 0,
+		"fleet shard lease TTL before a shard re-queues (default 90s)")
+	fleetTTL := flag.Duration("fleet-worker-ttl", 0,
+		"deregister fleet workers silent for this long (default 20s)")
 	flag.Parse()
+
+	if *workerMode {
+		if *coordinator == "" {
+			log.Fatal("dstressd: -worker requires -coordinator=URL")
+		}
+		runWorker(*coordinator, *workerName)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -592,7 +710,8 @@ func main() {
 			log.Fatalf("dstressd: %v", err)
 		}
 	}
-	d, err := newDaemon(*budget, *rows, *seed, db, journal)
+	d, err := newDaemon(*budget, *rows, *seed, db, journal,
+		fleet.Config{LeaseTTL: *fleetLease, WorkerTTL: *fleetTTL})
 	if err != nil {
 		log.Fatalf("dstressd: %v", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"dstress/internal/fleet"
 	"dstress/internal/virusdb"
 )
 
@@ -26,7 +27,7 @@ func testDaemon(t *testing.T, budget int, withDB bool) (*daemon, *httptest.Serve
 			t.Fatal(err)
 		}
 	}
-	d, err := newDaemon(budget, 4, 7, db, nil)
+	d, err := newDaemon(budget, 4, 7, db, nil, fleet.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,10 @@ func main() {
 	rows := flag.Int("rows", 16, "rows per bank of the simulated DIMMs")
 	flag.Parse()
 
+	if err := checkAgeDIMM(*ageDIMM); err != nil {
+		fatal(err)
+	}
+
 	srv, err := server.New(server.DefaultConfig(*rows, *seed))
 	if err != nil {
 		fatal(err)
@@ -67,12 +71,24 @@ func main() {
 				fmt.Printf("  -> DIMM%d flagged: %s\n", v.MCU, v.Reason)
 			}
 		}
-		if *ageDIMM >= 0 && *ageDIMM < server.NumMCUs {
+		if *ageDIMM >= 0 {
 			if err := srv.MCU(*ageDIMM).Device().Age(*ageRate); err != nil {
 				fatal(err)
 			}
 		}
 	}
+}
+
+// checkAgeDIMM validates -age-dimm up front: an out-of-range DIMM used to be
+// silently skipped, so the fleet never degraded and every scan printed a
+// misleadingly healthy verdict. Only -1 (no aging) is valid outside
+// [0, server.NumMCUs).
+func checkAgeDIMM(d int) error {
+	if d == -1 || (d >= 0 && d < server.NumMCUs) {
+		return nil
+	}
+	return fmt.Errorf("-age-dimm %d out of range: the server has DIMMs 0..%d "+
+		"(use -1 for no aging)", d, server.NumMCUs-1)
 }
 
 func fatal(err error) {

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"dstress/internal/server"
+)
+
+func TestCheckAgeDIMM(t *testing.T) {
+	for d := -1; d < server.NumMCUs; d++ {
+		if err := checkAgeDIMM(d); err != nil {
+			t.Errorf("checkAgeDIMM(%d) = %v, want nil", d, err)
+		}
+	}
+	for _, d := range []int{-2, server.NumMCUs, server.NumMCUs + 1, 1 << 20} {
+		if err := checkAgeDIMM(d); err == nil {
+			t.Errorf("checkAgeDIMM(%d) accepted an out-of-range DIMM", d)
+		}
+	}
+}

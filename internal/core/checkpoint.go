@@ -226,7 +226,9 @@ func (f *Framework) RunSearchFrom(ctx context.Context, cfg SearchConfig,
 		if err != nil {
 			return nil, err
 		}
-		batch, noise = pool.Batch(), pool.RootState
+		if batch, noise, err = f.fleetOrPool(cfg, pool); err != nil {
+			return nil, err
+		}
 	} else {
 		// The serial protocol draws measurement noise from f.RNG itself.
 		if err := f.RNG.Restore(cp.NoiseRNG); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"dstress/internal/farm"
 	"dstress/internal/ga"
+	"dstress/internal/server"
 	"dstress/internal/xrand"
 )
 
@@ -42,26 +43,8 @@ func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
 		if err != nil {
 			return nil, err
 		}
-		wf := &Framework{Srv: srv, RNG: xrand.New(workerPrepSeed),
-			MCU: f.MCU, Runs: f.Runs}
-		if err := wf.Apply(cfg.Point); err != nil {
-			return nil, err
-		}
-		if err := cfg.Spec.Prepare(wf); err != nil {
-			return nil, err
-		}
-		return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
-			if err := cfg.Spec.Deploy(wf, g); err != nil {
-				return 0, err
-			}
-			res, err := wf.Srv.Evaluate(wf.MCU, wf.Runs, rng)
-			if err != nil {
-				return 0, err
-			}
-			m := Measurement{MeanCE: res.MeanCE, MeanSDC: res.MeanSDC,
-				UEFrac: res.UEFrac}
-			return cfg.Criterion.Fitness(m), nil
-		}, nil
+		return NewWorkerEvaluator(srv, cfg.Spec, cfg.Criterion, cfg.Point,
+			f.MCU, f.Runs)
 	}
 	var opts []farm.PoolOption
 	if cfg.Cache != nil {
@@ -71,4 +54,37 @@ func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
 		opts = append(opts, farm.WithMetrics(cfg.Metrics))
 	}
 	return farm.NewPool(workers, root, factory, opts...)
+}
+
+// NewWorkerEvaluator programs srv to the operating point, prepares the spec
+// on it and returns the deploy-and-measure evaluator every farm worker runs.
+// It is shared between the local pool factory (which hands it a server
+// clone) and a fleet worker process (which hands it a server freshly built
+// from the shipped configuration — identical by construction, since
+// server.Clone rebuilds from config): both paths produce the same value for
+// the same (genome, rng), which is the fleet's determinism contract.
+func NewWorkerEvaluator(srv *server.Server, spec Spec, crit Criterion,
+	point OperatingPoint, mcu, runs int) (farm.EvalFunc, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("core: nil spec")
+	}
+	wf := &Framework{Srv: srv, RNG: xrand.New(workerPrepSeed), MCU: mcu, Runs: runs}
+	if err := wf.Apply(point); err != nil {
+		return nil, err
+	}
+	if err := spec.Prepare(wf); err != nil {
+		return nil, err
+	}
+	return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+		if err := spec.Deploy(wf, g); err != nil {
+			return 0, err
+		}
+		res, err := wf.Srv.Evaluate(wf.MCU, wf.Runs, rng)
+		if err != nil {
+			return 0, err
+		}
+		m := Measurement{MeanCE: res.MeanCE, MeanSDC: res.MeanSDC,
+			UEFrac: res.UEFrac}
+		return crit.Fitness(m), nil
+	}, nil
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"dstress/internal/bitvec"
 
 	"dstress/internal/farm"
+	"dstress/internal/fleet"
 	"dstress/internal/ga"
 	"dstress/internal/virusdb"
 )
@@ -39,6 +41,16 @@ type SearchConfig struct {
 	Cache *farm.Cache
 	// Metrics, when non-nil, accumulates farm throughput counters.
 	Metrics *farm.Metrics
+	// Fleet, when non-nil (farm mode only, Workers >= 1), distributes each
+	// generation's post-cache evaluations across the fleet's registered
+	// remote workers, degrading to the local pool while none are live.
+	// Results stay bit-identical to the purely local farm path: the fleet
+	// session reuses the pool's serial prologue and only replaces dispatch.
+	Fleet *fleet.Coordinator
+	// FleetContext is the opaque evaluation-environment description shipped
+	// to remote workers with every shard (the daemon ships its job request);
+	// required when Fleet is set.
+	FleetContext json.RawMessage
 	// OnGeneration observes each generation's statistics as the search
 	// runs (progress reporting).
 	OnGeneration func(ga.GenStats)
@@ -164,7 +176,7 @@ func (f *Framework) newBatch(cfg SearchConfig, workers int) (
 		if err != nil {
 			return nil, nil, err
 		}
-		return pool.Batch(), pool.RootState, nil
+		return f.fleetOrPool(cfg, pool)
 	}
 	batch := ga.SerialBatch(func(g ga.Genome) (float64, error) {
 		if err := cfg.Spec.Deploy(f, g); err != nil {
@@ -177,6 +189,20 @@ func (f *Framework) newBatch(cfg SearchConfig, workers int) (
 		return cfg.Criterion.Fitness(m), nil
 	})
 	return batch, f.RNG.State, nil
+}
+
+// fleetOrPool wraps the pool in a fleet session when cfg asks for one; the
+// session's root state is the pool's, so checkpoints are unaffected.
+func (f *Framework) fleetOrPool(cfg SearchConfig, pool *farm.Pool) (
+	ga.BatchFitness, func() [4]uint64, error) {
+	if cfg.Fleet == nil {
+		return pool.Batch(), pool.RootState, nil
+	}
+	if len(cfg.FleetContext) == 0 {
+		return nil, nil, fmt.Errorf("core: Fleet set without FleetContext")
+	}
+	sess := cfg.Fleet.NewSession(cfg.FleetContext, pool)
+	return sess.Batch(), sess.RootState, nil
 }
 
 // finishSearch is the common tail of a fresh and a resumed search: flush or

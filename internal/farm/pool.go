@@ -123,13 +123,25 @@ func (p *Pool) RootState() [4]uint64 { return p.root.State() }
 // Batch exposes the pool as a pluggable engine evaluator.
 func (p *Pool) Batch() ga.BatchFitness { return p.EvaluateBatch }
 
-// task is one scheduled evaluation; key is empty when uncached.
-type task struct {
-	idx int
-	g   ga.Genome
-	rng *xrand.Rand
-	key string
+// Assigned is one pre-assigned evaluation: a genome together with the noise
+// stream that must measure it. The assignment — not the executor — carries
+// the determinism contract: any correctly constructed worker evaluating
+// (G, RNG) produces the same value, which is what lets a dispatcher ship the
+// task to a remote machine as (genome, RNG state) and still obtain the local
+// result.
+type Assigned struct {
+	Idx int
+	G   ga.Genome
+	RNG *xrand.Rand
+	key string // cache key; empty when uncached
 }
+
+// Dispatcher executes pre-assigned evaluations, writing out[t.Idx] for every
+// task. Implementations may run the tasks anywhere, in any order and with
+// any partitioning, but the value written for a task must equal what a pool
+// worker evaluating (t.G, t.RNG) yields — the fleet coordinator satisfies
+// this by shipping each task's RNG state alongside the genome.
+type Dispatcher func(ctx context.Context, tasks []Assigned, out []float64) error
 
 // EvaluateBatch measures every genome and returns the fitness vector. The
 // per-genome generators are split off the root serially before dispatch and
@@ -138,8 +150,19 @@ type task struct {
 // completion order. A worker panic is converted into an error; the first
 // error aborts the batch.
 func (p *Pool) EvaluateBatch(ctx context.Context, gs []ga.Genome) ([]float64, error) {
+	return p.EvaluateBatchVia(ctx, gs, p.RunAssigned)
+}
+
+// EvaluateBatchVia is EvaluateBatch with the post-cache evaluations routed
+// through dispatch instead of the pool's own workers. The serial prologue —
+// stream splitting and cache resolution in index order — is identical, so a
+// dispatcher honouring the Dispatcher contract yields a fitness vector
+// bit-identical to EvaluateBatch's, and the root stream advances exactly the
+// same way. This is the seam the fleet coordinator plugs into.
+func (p *Pool) EvaluateBatchVia(ctx context.Context, gs []ga.Genome,
+	dispatch Dispatcher) ([]float64, error) {
 	out := make([]float64, len(gs))
-	var tasks []task
+	var tasks []Assigned
 	leaders := make(map[string]int)  // cache key -> out index computing it
 	followers := make(map[int][]int) // leader out index -> duplicate indexes
 	for i, g := range gs {
@@ -147,7 +170,7 @@ func (p *Pool) EvaluateBatch(ctx context.Context, gs []ga.Genome) ([]float64, er
 		// depend on cache contents.
 		rng := p.root.Split()
 		if p.cache == nil {
-			tasks = append(tasks, task{idx: i, g: g, rng: rng})
+			tasks = append(tasks, Assigned{Idx: i, G: g, RNG: rng})
 			continue
 		}
 		key := p.condKey + "|" + GenomeKey(g)
@@ -166,20 +189,20 @@ func (p *Pool) EvaluateBatch(ctx context.Context, gs []ga.Genome) ([]float64, er
 		}
 		p.cache.addMiss()
 		leaders[key] = i
-		tasks = append(tasks, task{idx: i, g: g, rng: rng, key: key})
+		tasks = append(tasks, Assigned{Idx: i, G: g, RNG: rng, key: key})
 	}
 
-	if err := p.runTasks(ctx, tasks, out); err != nil {
+	if err := dispatch(ctx, tasks, out); err != nil {
 		return nil, err
 	}
 
 	// Publish in task order (deterministic) and copy to duplicates.
 	for _, t := range tasks {
 		if t.key != "" {
-			p.cache.put(t.key, out[t.idx])
+			p.cache.put(t.key, out[t.Idx])
 		}
-		for _, i := range followers[t.idx] {
-			out[i] = out[t.idx]
+		for _, i := range followers[t.Idx] {
+			out[i] = out[t.Idx]
 		}
 	}
 	if p.met != nil {
@@ -188,9 +211,11 @@ func (p *Pool) EvaluateBatch(ctx context.Context, gs []ga.Genome) ([]float64, er
 	return out, nil
 }
 
-// runTasks fans the tasks out over the workers and waits. Distinct tasks
-// write distinct out elements, so the slice needs no lock.
-func (p *Pool) runTasks(ctx context.Context, tasks []task, out []float64) error {
+// RunAssigned fans the tasks out over the pool's workers and waits: the
+// local Dispatcher, and the fallback a fleet session degrades to when no
+// remote workers are registered. Distinct tasks write distinct out elements,
+// so the slice needs no lock.
+func (p *Pool) RunAssigned(ctx context.Context, tasks []Assigned, out []float64) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -215,22 +240,22 @@ func (p *Pool) runTasks(ctx context.Context, tasks []task, out []float64) error 
 		defer mu.Unlock()
 		return firstErr != nil
 	}
-	work := make(chan task)
+	work := make(chan Assigned)
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(ev EvalFunc) {
 			defer wg.Done()
 			for t := range work {
 				start := time.Now()
-				v, err := safeEval(ev, t.g, t.rng)
+				v, err := safeEval(ev, t.G, t.RNG)
 				if p.met != nil {
 					p.met.evalDone(time.Since(start))
 				}
 				if err != nil {
-					fail(fmt.Errorf("farm: genome %d: %w", t.idx, err))
+					fail(fmt.Errorf("farm: genome %d: %w", t.Idx, err))
 					continue
 				}
-				out[t.idx] = v
+				out[t.Idx] = v
 			}
 		}(p.evals[w])
 	}

@@ -59,12 +59,22 @@ func (s *JobState) UnmarshalJSON(data []byte) error {
 	return fmt.Errorf("farm: unknown job state %q", name)
 }
 
+// ErrBudgetExceeded reports a durable submission requesting more workers
+// than the scheduler's budget. Durable jobs are rejected rather than clamped:
+// the journal records the spec verbatim, and a silently clamped worker count
+// would survive restarts even under a budget that could honour the request.
+var ErrBudgetExceeded = errors.New("requested workers exceed the scheduler budget")
+
 // JobStatus is a point-in-time view of a job, JSON-ready for the daemon.
 type JobStatus struct {
-	ID      int      `json:"id"`
-	Name    string   `json:"name"`
-	State   JobState `json:"state"`
-	Workers int      `json:"workers"`
+	ID    int      `json:"id"`
+	Name  string   `json:"name"`
+	State JobState `json:"state"`
+	// Workers is the effective worker count the job holds budget tokens for.
+	Workers int `json:"workers"`
+	// RequestedWorkers is the submitted count when the scheduler clamped it
+	// to the budget; omitted when the request was honoured as-is.
+	RequestedWorkers int `json:"requested_workers,omitempty"`
 
 	// Search progress, as reported by the job via Progress.
 	Generation     int     `json:"generation"`
@@ -84,10 +94,11 @@ type JobFunc func(ctx context.Context, j *Job) (any, error)
 
 // Job is one scheduled search.
 type Job struct {
-	id      int
-	name    string
-	workers int
-	journal *Journal // nil unless submitted via SubmitDurable
+	id        int
+	name      string
+	workers   int
+	requested int      // submitted worker count before any clamp
+	journal   *Journal // nil unless submitted via SubmitDurable
 
 	mu       sync.Mutex
 	state    JobState
@@ -150,6 +161,9 @@ func (j *Job) Status() JobStatus {
 		MaxGenerations: j.maxGen,
 		BestFitness:    j.best,
 		Submitted:      j.submitted,
+	}
+	if j.requested != j.workers {
+		st.RequestedWorkers = j.requested
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -233,8 +247,9 @@ type JobSpec struct {
 }
 
 // Submit queues a job requesting the given number of workers (clamped to
-// the budget so it can always start) and returns immediately. A positive
-// timeout cancels the job that long after it starts running.
+// the budget so it can always start; the clamp is surfaced through
+// JobStatus.RequestedWorkers) and returns immediately. A positive timeout
+// cancels the job that long after it starts running.
 func (s *Scheduler) Submit(name string, workers int, timeout time.Duration,
 	fn JobFunc) (*Job, error) {
 	return s.submit(JobSpec{Name: name, Workers: workers, Timeout: timeout},
@@ -245,6 +260,9 @@ func (s *Scheduler) Submit(name string, workers int, timeout time.Duration,
 // spec is journaled before the job is visible, updated with every
 // Job.Checkpoint, and retired when the job reaches a terminal state — except
 // a shutdown, which leaves the entry behind for the next process to re-queue.
+// Unlike Submit, a worker request exceeding the budget is rejected with
+// ErrBudgetExceeded instead of clamped, so the journal never records a
+// silently reduced worker count.
 func (s *Scheduler) SubmitDurable(spec JobSpec, fn JobFunc) (*Job, error) {
 	return s.submit(spec, fn, true)
 }
@@ -253,11 +271,17 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 	if fn == nil {
 		return nil, fmt.Errorf("farm: nil job")
 	}
-	workers := spec.Workers
-	if workers < 1 {
-		workers = 1
+	requested := spec.Workers
+	if requested < 1 {
+		requested = 1
 	}
+	workers := requested
 	if workers > s.budget {
+		if durable {
+			return nil, fmt.Errorf("farm: durable job %q requests %d workers "+
+				"with budget %d: %w", spec.Name, requested, s.budget,
+				ErrBudgetExceeded)
+		}
 		workers = s.budget
 	}
 	s.mu.Lock()
@@ -275,6 +299,7 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 		id:        s.nextID,
 		name:      spec.Name,
 		workers:   workers,
+		requested: requested,
 		state:     JobPending,
 		submitted: time.Now(),
 		done:      make(chan struct{}),

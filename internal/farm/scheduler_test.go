@@ -3,7 +3,9 @@ package farm
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -61,7 +63,77 @@ func TestSchedulerOversizedJobClamped(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-j.Done()
-	if st := j.Status(); st.Workers != 2 || st.State != JobDone {
+	st := j.Status()
+	if st.Workers != 2 || st.State != JobDone {
+		t.Fatalf("status = %+v", st)
+	}
+	// The clamp must be visible, not silent: the status carries both the
+	// effective and the originally requested worker counts.
+	if st.RequestedWorkers != 16 {
+		t.Fatalf("RequestedWorkers = %d, want 16", st.RequestedWorkers)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"requested_workers":16`) {
+		t.Fatalf("requested_workers missing from status JSON: %s", data)
+	}
+}
+
+func TestSchedulerUnclampedJobOmitsRequested(t *testing.T) {
+	s, err := NewScheduler(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Submit("fits", 2, 0, func(ctx context.Context, j *Job) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	st := j.Status()
+	if st.RequestedWorkers != 0 {
+		t.Fatalf("RequestedWorkers = %d for an unclamped job, want 0 (omitted)",
+			st.RequestedWorkers)
+	}
+}
+
+func TestSchedulerDurableOverBudgetRejected(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir + "/jobs.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetJournal(jl)
+
+	// A durable submission exceeding the budget is rejected, not clamped:
+	// journaling a silently shrunk worker count would freeze the clamp into
+	// every future re-queue of the job.
+	_, err = s.SubmitDurable(JobSpec{Name: "big", Workers: 16},
+		func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("SubmitDurable(16 workers, budget 2) = %v, want ErrBudgetExceeded", err)
+	}
+	if n := len(jl.Recovered()); n != 0 {
+		t.Fatalf("rejected job left %d journal entries", n)
+	}
+
+	// At the budget it is accepted and journaled with the true count.
+	j, err := s.SubmitDurable(JobSpec{Name: "fits", Workers: 2},
+		func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if st := j.Status(); st.Workers != 2 || st.RequestedWorkers != 0 {
 		t.Fatalf("status = %+v", st)
 	}
 }

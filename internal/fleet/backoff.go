@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"dstress/internal/xrand"
+)
+
+// Backoff produces capped exponential delays with jitter for transport
+// retries. The zero value is not usable; construct with NewBackoff.
+type Backoff struct {
+	min, max time.Duration
+	factor   float64
+	cur      time.Duration
+	rng      *xrand.Rand
+}
+
+// NewBackoff builds a backoff ramping from min to max by factor. Non-positive
+// arguments select the defaults (100ms, 5s, 2).
+func NewBackoff(min, max time.Duration, factor float64, rng *xrand.Rand) *Backoff {
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if max < min {
+		max = min
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	if rng == nil {
+		rng = xrand.New(uint64(time.Now().UnixNano()))
+	}
+	return &Backoff{min: min, max: max, factor: factor, rng: rng}
+}
+
+// Next returns the next delay: half the current ceiling plus a jittered half,
+// so consecutive workers hammering one coordinator decorrelate while the
+// configured ceiling is always respected.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.min
+	}
+	d := time.Duration(float64(b.cur)/2 + b.rng.Float64()*float64(b.cur)/2)
+	b.cur = time.Duration(float64(b.cur) * b.factor)
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// Reset drops back to the minimum delay after a success.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Sleep waits for the next delay or until the context ends.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

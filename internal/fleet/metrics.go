@@ -1,0 +1,18 @@
+package fleet
+
+import "sync/atomic"
+
+// metrics holds the fleet-wide counters Snapshot exports. Everything is
+// atomic so hot paths can bump them without extending lock scopes.
+type metrics struct {
+	joins          atomic.Int64
+	leaseExpiries  atomic.Int64
+	workerExpiries atomic.Int64
+	requeues       atomic.Int64
+	lateReports    atomic.Int64
+	evalFailures   atomic.Int64
+	remoteBatches  atomic.Int64
+	localBatches   atomic.Int64
+	remoteTasks    atomic.Int64
+	localTasks     atomic.Int64
+}
