@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test test-short check detv2-test resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
 
 all: build test
 
@@ -31,7 +31,17 @@ check:
 	$(GO) test -race -run 'Checkpoint|Resume|Journal|Snapshot' \
 		./internal/checkpoint ./internal/ga ./internal/core ./internal/farm
 	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./internal/dram
+	$(MAKE) detv2-test
 	$(GO) test -race -timeout 30m ./...
+
+# The determinism-v2 differential matrix under the race detector: stream
+# purity and key independence (xrand), kernel-vs-reference bit-identity and
+# order independence (dram), serial/farm-1-2-4-8/kill-and-resume agreement
+# (core) and fleet 0/1/2/4-node agreement (dstressd). The v1 suites pin the
+# old contract separately and must not move.
+detv2-test:
+	$(GO) test -race -run 'DetV2' \
+		./internal/xrand ./internal/dram ./internal/core ./cmd/dstressd
 
 # Kill-and-resume integration: SIGKILL a live dstressd mid-search, restart
 # it over the same journal, and require the re-queued job to finish with a

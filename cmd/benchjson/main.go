@@ -6,8 +6,10 @@
 // (ns/op, B/op, allocs/op and any b.ReportMetric extras). For fast-path /
 // reference benchmark pairs (names differing only in a "fast" vs
 // "reference" path element, e.g. BenchmarkAverageRuns/fast/rows-16), a
-// derived speedup ratio is added, so regressions of the dram evaluation
-// plan are one `git diff BENCH_*.json` away.
+// derived speedup ratio is added; "v2" variants additionally get their
+// ratio over both the reference and the fast path (speedup_v2,
+// speedup_v2_vs_fast), so regressions of the dram evaluation plan are one
+// `git diff BENCH_*.json` away.
 //
 // Usage:
 //
@@ -165,6 +167,26 @@ func derive(bs []Benchmark) map[string]float64 {
 		if okF && okR && fastNs > 0 {
 			key := "speedup:" + strings.Replace(full, "/fast", "", 1)
 			out[key] = refNs / fastNs
+		}
+	}
+	// The v2 kernel gets two ratios: over the frozen plan-free reference
+	// (total headroom) and over the v1 fast path (what switching the
+	// determinism contract buys an unchanged workload).
+	for _, b := range bs {
+		full := b.Pkg + "." + b.Name
+		if !strings.Contains(full, "/v2") {
+			continue
+		}
+		v2Ns, ok := nsOf[full]
+		if !ok || v2Ns <= 0 {
+			continue
+		}
+		base := strings.Replace(full, "/v2", "", 1)
+		if refNs, ok := nsOf[strings.Replace(full, "/v2", "/reference", 1)]; ok {
+			out["speedup_v2:"+base] = refNs / v2Ns
+		}
+		if fastNs, ok := nsOf[strings.Replace(full, "/v2", "/fast", 1)]; ok {
+			out["speedup_v2_vs_fast:"+base] = fastNs / v2Ns
 		}
 	}
 	if len(out) == 0 {

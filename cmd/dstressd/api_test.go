@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dstress/internal/virusdb"
+)
+
+// errorBody decodes the daemon-wide error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// doRaw performs one request with an optional body and decodes the envelope.
+func doRaw(t *testing.T, method, url, body string) (int, string, errorBody) {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), eb
+}
+
+// TestErrorEnvelopeEverywhere drives every endpoint of the surface into an
+// error and asserts the one true envelope: HTTP status, a machine-readable
+// code, a human message and a JSON content type — on the /api/v1 spelling
+// and, where one exists, the legacy alias.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	_, tsNoDB := testDaemon(t, 2, false) // virusdb 404s without a database
+	_, tsDB := testDaemon(t, 2, true)
+
+	cases := []struct {
+		name         string
+		ts           string
+		method, path string
+		body         string
+		status       int
+		code         string
+	}{
+		{"submit bad json", tsNoDB.URL, "POST", "/api/v1/jobs", "{", 400, "bad_request"},
+		{"submit bad template", tsNoDB.URL, "POST", "/api/v1/jobs",
+			`{"template":"nope"}`, 400, "bad_request"},
+		{"job bad id", tsNoDB.URL, "GET", "/api/v1/jobs/abc", "", 400, "bad_request"},
+		{"job unknown", tsNoDB.URL, "GET", "/api/v1/jobs/999", "", 404, "not_found"},
+		{"wait unknown", tsNoDB.URL, "GET", "/api/v1/jobs/999/wait", "", 404, "not_found"},
+		{"cancel unknown", tsNoDB.URL, "POST", "/api/v1/jobs/999/cancel", "", 404, "not_found"},
+		{"virusdb without db", tsNoDB.URL, "GET", "/api/v1/virusdb", "", 404, "not_found"},
+		{"virusdb bad limit", tsDB.URL, "GET", "/api/v1/virusdb?experiment=e&limit=x",
+			"", 400, "bad_request"},
+		{"virusdb bad top", tsDB.URL, "GET", "/api/v1/virusdb?experiment=e&top=0",
+			"", 400, "bad_request"},
+		{"virusdb bad offset", tsDB.URL, "GET", "/api/v1/virusdb?experiment=e&offset=-1",
+			"", 400, "bad_request"},
+		{"virusdb bad min_fitness", tsDB.URL, "GET",
+			"/api/v1/virusdb?experiment=e&min_fitness=x", "", 400, "bad_request"},
+		{"unknown path", tsNoDB.URL, "GET", "/api/v1/no/such", "", 404, "not_found"},
+		{"catch-all legacy", tsNoDB.URL, "GET", "/nope", "", 404, "not_found"},
+		{"fleet bad body", tsNoDB.URL, "POST", "/api/v1/fleet/join", "{", 400, "bad_request"},
+		{"fleet unknown worker", tsNoDB.URL, "POST", "/api/v1/fleet/heartbeat",
+			`{"worker_id":"ghost"}`, 404, "unknown_worker"},
+	}
+	for _, c := range cases {
+		paths := []string{c.path}
+		if strings.HasPrefix(c.path, "/api/v1/") && !strings.Contains(c.path, "/no/such") {
+			paths = append(paths, "/api"+strings.TrimPrefix(c.path, "/api/v1"))
+		}
+		for _, path := range paths {
+			status, ctype, eb := doRaw(t, c.method, c.ts+path, c.body)
+			if status != c.status {
+				t.Errorf("%s (%s): HTTP %d, want %d", c.name, path, status, c.status)
+			}
+			if !strings.HasPrefix(ctype, "application/json") {
+				t.Errorf("%s (%s): Content-Type %q", c.name, path, ctype)
+			}
+			if eb.Error.Code != c.code {
+				t.Errorf("%s (%s): code %q, want %q", c.name, path, eb.Error.Code, c.code)
+			}
+			if eb.Error.Message == "" {
+				t.Errorf("%s (%s): empty error message", c.name, path)
+			}
+		}
+	}
+}
+
+// TestVersionedAndLegacyRoutesAnswer: the read-only surface answers 200 on
+// both spellings, with identical bodies — the alias really is the same
+// handler, not a second implementation.
+func TestVersionedAndLegacyRoutesAnswer(t *testing.T) {
+	_, ts := testDaemon(t, 2, true)
+	pairs := []struct {
+		v1, legacy string
+		compare    bool // metrics carry live counters; only check they answer
+	}{
+		{"/api/v1/jobs", "/api/jobs", true},
+		{"/api/v1/virusdb", "/api/virusdb", true},
+		{"/api/v1/metrics", "/metrics", false},
+	}
+	for _, pair := range pairs {
+		var bodies [2]string
+		for i, path := range []string{pair.v1, pair.legacy} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+			}
+			bodies[i] = string(data)
+		}
+		if pair.compare && bodies[0] != bodies[1] {
+			t.Errorf("%s and %s answer differently", pair.v1, pair.legacy)
+		}
+	}
+}
+
+// TestVirusDBPaging: limit/offset/min_fitness slice the strongest-first
+// record list deterministically, and the pre-v1 "top" spelling still works.
+func TestVirusDBPaging(t *testing.T) {
+	d, ts := testDaemon(t, 2, true)
+	for i, fit := range []float64{3, 1, 5, 2, 4} {
+		err := d.db.Append(virusdb.Record{
+			Experiment: "e", Bits: "0101", Fitness: fit, Generation: i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fitnesses := func(url string) []float64 {
+		var recs []virusdb.Record
+		if code := getJSON(t, url, &recs); code != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", url, code)
+		}
+		out := make([]float64, len(recs))
+		for i, r := range recs {
+			out[i] = r.Fitness
+		}
+		return out
+	}
+	base := ts.URL + "/api/v1/virusdb?experiment=e"
+	cases := []struct {
+		query string
+		want  []float64
+	}{
+		{"", []float64{5, 4, 3, 2, 1}},
+		{"&limit=2", []float64{5, 4}},
+		{"&top=2", []float64{5, 4}}, // legacy alias of limit
+		{"&limit=2&offset=1", []float64{4, 3}},
+		{"&offset=4", []float64{1}},
+		{"&offset=99", []float64{}},
+		{"&min_fitness=3", []float64{5, 4, 3}},
+		{"&min_fitness=3&limit=1&offset=1", []float64{4}},
+	}
+	for _, c := range cases {
+		got := fitnesses(base + c.query)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %v, want %v", c.query, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: got %v, want %v", c.query, got, c.want)
+				break
+			}
+		}
+	}
+	// An unknown experiment is an empty page, not null and not an error.
+	if got := fitnesses(ts.URL + "/api/v1/virusdb?experiment=ghost"); len(got) != 0 {
+		t.Errorf("ghost experiment returned %v", got)
+	}
+}

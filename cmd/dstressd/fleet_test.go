@@ -29,7 +29,8 @@ func fastFleetConfig() fleet.Config {
 	}
 }
 
-// rawStatus fetches a URL and reports status code, content type and body.
+// rawStatus fetches a URL and reports status code, content type and the
+// envelope's error message.
 func rawStatus(t *testing.T, method, url string) (int, string, string) {
 	t.Helper()
 	req, err := http.NewRequest(method, url, nil)
@@ -41,14 +42,9 @@ func rawStatus(t *testing.T, method, url string) (int, string, string) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var buf strings.Builder
-	var body struct {
-		Error string `json:"error"`
-	}
-	dec := json.NewDecoder(resp.Body)
-	_ = dec.Decode(&body)
-	buf.WriteString(body.Error)
-	return resp.StatusCode, resp.Header.Get("Content-Type"), buf.String()
+	var body errorBody
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body.Error.Message
 }
 
 // TestJSONNotFoundEverywhere: unknown job ids across GET/wait/cancel and
@@ -101,9 +97,7 @@ func TestDurableOverBudgetSubmitRejected(t *testing.T) {
 		ts.Close()
 	}()
 
-	var body struct {
-		Error string `json:"error"`
-	}
+	var body errorBody
 	code := postJSON(t, ts.URL+"/api/jobs", jobRequest{
 		Template: "data64", Generations: 1, Population: 4,
 		Workers: 16, Runs: 1,
@@ -111,8 +105,11 @@ func TestDurableOverBudgetSubmitRejected(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("over-budget durable submit: HTTP %d, want 400", code)
 	}
-	if !strings.Contains(body.Error, "budget") {
-		t.Fatalf("error %q does not mention the budget", body.Error)
+	if body.Error.Code != "budget_exceeded" {
+		t.Fatalf("error code %q, want budget_exceeded", body.Error.Code)
+	}
+	if !strings.Contains(body.Error.Message, "budget") {
+		t.Fatalf("error %q does not mention the budget", body.Error.Message)
 	}
 	if jl.Len() != 0 {
 		t.Fatalf("rejected job left %d journal entries", jl.Len())

@@ -23,20 +23,24 @@
 // final checkpoint, and the daemon exits once they settle (or the -drain
 // deadline passes — the journal still holds whatever was flushed).
 //
-// Endpoints:
+// Endpoints (the canonical surface is versioned under /api/v1; every
+// pre-versioning spelling remains as a thin alias of the same handler — the
+// README documents the full mapping):
 //
-//	POST /api/jobs            submit a search (JSON body, see jobRequest)
-//	GET  /api/jobs            list all jobs
-//	GET  /api/jobs/{id}       one job's status and, when finished, result
-//	GET  /api/jobs/{id}/wait  the same, but blocks until the job finishes
-//	POST /api/jobs/{id}/cancel
-//	GET  /api/virusdb         experiments, or ?experiment=...&top=N records
-//	GET  /metrics             farm/cache/scheduler/fleet counters as JSON
-//	GET  /debug/vars          the same, expvar-style
-//	POST /api/fleet/{join,heartbeat,lease,report}  the fleet worker protocol
+//	POST /api/v1/jobs            submit a search (JSON body, see jobRequest)
+//	GET  /api/v1/jobs            list all jobs
+//	GET  /api/v1/jobs/{id}       one job's status and, when finished, result
+//	GET  /api/v1/jobs/{id}/wait  the same, but blocks until the job finishes
+//	POST /api/v1/jobs/{id}/cancel
+//	GET  /api/v1/virusdb         experiments; with ?experiment=... the
+//	                             records, paged by limit/offset/min_fitness
+//	GET  /api/v1/metrics         farm/cache/scheduler/fleet counters as JSON
+//	GET  /debug/vars             the same, expvar-style
+//	POST /api/v1/fleet/{join,heartbeat,lease,report}  fleet worker protocol
 //
-// Unknown endpoints and unknown job ids answer with a JSON error body, so
-// fleet clients can tell "gone" from a transport failure.
+// Every error — unknown endpoints and unknown job ids included — answers
+// with the uniform JSON envelope {"error":{"code","message"}}, so fleet
+// clients can tell "gone" from a transport failure mechanically.
 package main
 
 import (
@@ -59,6 +63,7 @@ import (
 	"time"
 
 	"dstress/internal/core"
+	"dstress/internal/dram"
 	"dstress/internal/farm"
 	"dstress/internal/fleet"
 	"dstress/internal/ga"
@@ -122,6 +127,23 @@ type jobRequest struct {
 	// CheckpointEvery is the checkpoint interval in generations when the
 	// daemon runs with a journal; <= 0 means every generation.
 	CheckpointEvery int `json:"checkpoint_every"`
+	// Determinism selects the dram evaluation contract: "" or "v1" for the
+	// sequential draw-order contract, "v2" for the counter-stream contract
+	// (order-independent, faster). Both are deterministic; they draw
+	// different noise for the same seed, so a job must not change contract
+	// mid-campaign — the setting rides in checkpoints and fleet shards.
+	Determinism string `json:"determinism,omitempty"`
+}
+
+// parseDeterminism maps the wire spelling to the dram contract version.
+func parseDeterminism(s string) (dram.DeterminismVersion, error) {
+	switch s {
+	case "", "v1":
+		return dram.DeterminismV1, nil
+	case "v2":
+		return dram.DeterminismV2, nil
+	}
+	return 0, fmt.Errorf("unknown determinism %q (want v1 or v2)", s)
 }
 
 // jobResult is what a finished search reports back through the job handle.
@@ -171,6 +193,7 @@ type prepared struct {
 	req     jobRequest
 	spec    core.Spec
 	crit    core.Criterion
+	det     dram.DeterminismVersion
 	name    string
 	timeout time.Duration
 }
@@ -207,6 +230,10 @@ func (d *daemon) prepare(req jobRequest) (prepared, error) {
 	if err != nil {
 		return prepared{}, err
 	}
+	det, err := parseDeterminism(req.Determinism)
+	if err != nil {
+		return prepared{}, err
+	}
 	name := req.Name
 	if name == "" {
 		name = fmt.Sprintf("%s/%s/%.0fC", spec.Name(), crit, req.TempC)
@@ -215,6 +242,7 @@ func (d *daemon) prepare(req jobRequest) (prepared, error) {
 		req:     req,
 		spec:    spec,
 		crit:    crit,
+		det:     det,
 		name:    name,
 		timeout: time.Duration(req.TimeoutS * float64(time.Second)),
 	}, nil
@@ -338,14 +366,15 @@ func (d *daemon) runSearch(ctx context.Context, j *farm.Job, p prepared,
 	}
 	maxGen := params.MaxGenerations
 	cfg := core.SearchConfig{
-		Spec:      p.spec,
-		Criterion: p.crit,
-		Point:     core.Relaxed(req.TempC),
-		GA:        params,
-		Resume:    req.Resume,
-		Workers:   req.Workers,
-		Cache:     d.cache,
-		Metrics:   d.metrics,
+		Spec:        p.spec,
+		Criterion:   p.crit,
+		Point:       core.Relaxed(req.TempC),
+		Determinism: p.det,
+		GA:          params,
+		Resume:      req.Resume,
+		Workers:     req.Workers,
+		Cache:       d.cache,
+		Metrics:     d.metrics,
 		OnGeneration: func(st ga.GenStats) {
 			j.Progress(st.Generation, maxGen, st.Best)
 		},
@@ -468,12 +497,18 @@ func (d *daemon) lookupJob(w http.ResponseWriter, r *http.Request) (*farm.Job, b
 	return j, true
 }
 
+// getVirusDB serves the database: the index view without an experiment,
+// otherwise that experiment's records strongest-first (a stable sort over
+// the append order, so identical queries page identically), filtered by
+// min_fitness and windowed by offset/limit. "top" is the pre-v1 spelling of
+// limit and stays accepted.
 func (d *daemon) getVirusDB(w http.ResponseWriter, r *http.Request) {
 	if d.db == nil {
 		httpError(w, http.StatusNotFound, errors.New("daemon runs without a database"))
 		return
 	}
-	exp := r.URL.Query().Get("experiment")
+	q := r.URL.Query()
+	exp := q.Get("experiment")
 	if exp == "" {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"experiments": d.db.Experiments(),
@@ -481,16 +516,50 @@ func (d *daemon) getVirusDB(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	top := d.db.Len()
-	if s := r.URL.Query().Get("top"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 1 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", s))
+	recs := d.db.Records(exp)
+	if s := q.Get("min_fitness"); s != "" {
+		min, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min_fitness %q", s))
 			return
 		}
-		top = n
+		kept := recs[:0]
+		for _, rec := range recs {
+			if rec.Fitness >= min {
+				kept = append(kept, rec)
+			}
+		}
+		recs = kept
 	}
-	writeJSON(w, http.StatusOK, d.db.TopN(exp, top))
+	if s := q.Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", s))
+			return
+		}
+		if n > len(recs) {
+			n = len(recs)
+		}
+		recs = recs[n:]
+	}
+	limit := q.Get("limit")
+	if limit == "" {
+		limit = q.Get("top")
+	}
+	if limit != "" {
+		n, err := strconv.Atoi(limit)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limit))
+			return
+		}
+		if n < len(recs) {
+			recs = recs[:n]
+		}
+	}
+	if recs == nil {
+		recs = []virusdb.Record{} // an empty page is [], never null
+	}
+	writeJSON(w, http.StatusOK, recs)
 }
 
 // metricsView aggregates every counter the daemon keeps.
@@ -539,13 +608,21 @@ func (d *daemon) handler() http.Handler {
 		}))
 	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/jobs", d.submitJob)
-	mux.HandleFunc("GET /api/jobs", d.listJobs)
-	mux.HandleFunc("GET /api/jobs/{id}", d.getJob)
-	mux.HandleFunc("GET /api/jobs/{id}/wait", d.waitJob)
-	mux.HandleFunc("POST /api/jobs/{id}/cancel", d.cancelJob)
-	mux.HandleFunc("GET /api/virusdb", d.getVirusDB)
-	mux.HandleFunc("GET /metrics", d.getMetrics)
+	// The canonical surface lives under /api/v1; both registers each
+	// endpoint's pre-versioning spelling as a thin alias — same handler,
+	// same responses — so existing clients and scripts keep working.
+	both := func(v1, legacy string, h http.HandlerFunc) {
+		mux.HandleFunc(v1, h)
+		mux.HandleFunc(legacy, h)
+	}
+	both("POST /api/v1/jobs", "POST /api/jobs", d.submitJob)
+	both("GET /api/v1/jobs", "GET /api/jobs", d.listJobs)
+	both("GET /api/v1/jobs/{id}", "GET /api/jobs/{id}", d.getJob)
+	both("GET /api/v1/jobs/{id}/wait", "GET /api/jobs/{id}/wait", d.waitJob)
+	both("POST /api/v1/jobs/{id}/cancel", "POST /api/jobs/{id}/cancel",
+		d.cancelJob)
+	both("GET /api/v1/virusdb", "GET /api/virusdb", d.getVirusDB)
+	both("GET /api/v1/metrics", "GET /metrics", d.getMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	// Live profiling of a running campaign: `go tool pprof
 	// http://host/debug/pprof/profile` diagnoses evaluation-path
@@ -573,8 +650,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	data, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
 		log.Printf("dstressd: encoding %T response: %v", v, err)
-		http.Error(w, `{"error":"response encoding failed"}`,
-			http.StatusInternalServerError)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w,
+			`{"error":{"code":"internal","message":"response encoding failed"}}`)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -582,8 +661,35 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// apiError is the uniform error envelope: every endpoint of the daemon —
+// the fleet protocol and the JSON 404 catch-all included — answers failures
+// with {"error":{"code","message"}}. Code is machine-readable (clients
+// branch on it), Message is for humans and logs.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// httpError is the single place an error becomes a response. The code
+// derives from the error value where one is more specific than the HTTP
+// status (a budget rejection is permanent, not retryable-service-trouble).
+func httpError(w http.ResponseWriter, status int, err error) {
+	code := "internal"
+	switch {
+	case errors.Is(err, farm.ErrBudgetExceeded):
+		code = "budget_exceeded"
+	case status == http.StatusBadRequest:
+		code = "bad_request"
+	case status == http.StatusNotFound:
+		code = "not_found"
+	case status == http.StatusServiceUnavailable:
+		code = "unavailable"
+	}
+	writeJSON(w, status, errorEnvelope{apiError{Code: code, Message: err.Error()}})
 }
 
 // buildFleetEvaluator turns a shipped evaluation context (the coordinator's
@@ -611,6 +717,10 @@ func buildFleetEvaluator(evalCtx json.RawMessage) (farm.EvalFunc, error) {
 	if err != nil {
 		return nil, err
 	}
+	det, err := parseDeterminism(req.Determinism)
+	if err != nil {
+		return nil, err
+	}
 	srv, err := server.New(server.DefaultConfig(req.Rows, req.Seed))
 	if err != nil {
 		return nil, err
@@ -620,7 +730,7 @@ func buildFleetEvaluator(evalCtx json.RawMessage) (farm.EvalFunc, error) {
 		runs = 10 // the framework default the coordinator runs under
 	}
 	return core.NewWorkerEvaluator(srv, spec, crit, core.Relaxed(req.TempC),
-		server.MCU2, runs)
+		server.MCU2, runs, det)
 }
 
 // runWorker is worker mode: serve a remote coordinator until interrupted.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dstress/internal/checkpoint"
+	"dstress/internal/dram"
 	"dstress/internal/ga"
 )
 
@@ -23,6 +24,11 @@ type Checkpoint struct {
 	Params ga.Params `json:"params"`
 	// Point is the operating point the search runs at.
 	Point OperatingPoint `json:"point"`
+	// Determinism is the dram evaluation contract the search measures
+	// under. Authoritative on resume, like Point: the remaining generations
+	// must draw noise under the contract that produced the snapshot. The
+	// zero value (checkpoints written before the field existed) is v1.
+	Determinism dram.DeterminismVersion `json:"determinism,omitempty"`
 	// Workers records the noise protocol: >= 1 is the farm protocol (one
 	// stream split off a dedicated root per chromosome — resumable at any
 	// worker count), 0 the legacy serial protocol (streams split off the
@@ -112,12 +118,13 @@ func (em *ckptEmitter) onSnapshot(s ga.Snapshot) {
 		return
 	}
 	cp := &Checkpoint{
-		Experiment: em.cfg.experimentKey(),
-		Params:     em.params,
-		Point:      em.cfg.Point,
-		Workers:    em.workers,
-		NoiseRNG:   em.noise(),
-		Engine:     s,
+		Experiment:  em.cfg.experimentKey(),
+		Params:      em.params,
+		Point:       em.cfg.Point,
+		Determinism: em.cfg.Determinism,
+		Workers:     em.workers,
+		NoiseRNG:    em.noise(),
+		Engine:      s,
 	}
 	em.last = cp
 	if s.Generation%em.every == 0 {
@@ -183,6 +190,7 @@ func (f *Framework) RunSearchFrom(ctx context.Context, cfg SearchConfig,
 		return nil, fmt.Errorf("core: nil checkpoint")
 	}
 	cfg.Point = cp.Point
+	cfg.Determinism = cp.Determinism
 	if key := cfg.experimentKey(); key != cp.Experiment {
 		return nil, fmt.Errorf("core: checkpoint is for %q, config describes %q",
 			cp.Experiment, key)
@@ -190,6 +198,9 @@ func (f *Framework) RunSearchFrom(ctx context.Context, cfg SearchConfig,
 	params := cp.Params
 	if cfg.MaxDuration > 0 {
 		params.MaxDuration = cfg.MaxDuration // fresh budget for the resumed leg
+	}
+	if err := f.Srv.SetDeterminism(cfg.Determinism); err != nil {
+		return nil, err
 	}
 	if err := f.Apply(cp.Point); err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dstress/internal/dram"
 	"dstress/internal/farm"
 	"dstress/internal/ga"
 	"dstress/internal/server"
@@ -18,13 +19,15 @@ const workerPrepSeed = 0xD57E55
 // condKey identifies the operating conditions a fitness value was measured
 // under, scoping memoized entries in a shared cache. Everything the
 // measurement depends on beyond the chromosome goes in: spec, criterion,
-// operating point, averaging count, target MCU and the device geometry
-// seed material (via the server config's per-MCU seeds).
+// operating point, averaging count, target MCU, the device geometry seed
+// material (via the server config's per-MCU seeds) and the determinism
+// contract — v1 and v2 draw different noise for the same chromosome.
 func (f *Framework) condKey(cfg SearchConfig) string {
 	scfg := f.Srv.Config()
-	return fmt.Sprintf("%s|%s|t%.3f|p%.6f|v%.4f|n%d|m%d|s%d|r%d",
+	return fmt.Sprintf("%s|%s|t%.3f|p%.6f|v%.4f|n%d|m%d|s%d|r%d|d%s",
 		cfg.Spec.Name(), cfg.Criterion, cfg.Point.TempC, cfg.Point.TREFP,
-		cfg.Point.VDD, f.Runs, f.MCU, scfg.Seeds[f.MCU], scfg.RowsPerBank)
+		cfg.Point.VDD, f.Runs, f.MCU, scfg.Seeds[f.MCU], scfg.RowsPerBank,
+		cfg.Determinism.Normalize())
 }
 
 // NewEvalPool builds the fitness-evaluation farm for cfg: every worker gets
@@ -44,7 +47,7 @@ func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
 			return nil, err
 		}
 		return NewWorkerEvaluator(srv, cfg.Spec, cfg.Criterion, cfg.Point,
-			f.MCU, f.Runs)
+			f.MCU, f.Runs, cfg.Determinism)
 	}
 	var opts []farm.PoolOption
 	if cfg.Cache != nil {
@@ -62,13 +65,19 @@ func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
 // clone) and a fleet worker process (which hands it a server freshly built
 // from the shipped configuration — identical by construction, since
 // server.Clone rebuilds from config): both paths produce the same value for
-// the same (genome, rng), which is the fleet's determinism contract.
+// the same (genome, rng), which is the fleet's determinism contract. det is
+// set explicitly rather than inherited because the fleet path's server is
+// built from a shipped config that predates the search's contract choice.
 func NewWorkerEvaluator(srv *server.Server, spec Spec, crit Criterion,
-	point OperatingPoint, mcu, runs int) (farm.EvalFunc, error) {
+	point OperatingPoint, mcu, runs int,
+	det dram.DeterminismVersion) (farm.EvalFunc, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("core: nil spec")
 	}
 	wf := &Framework{Srv: srv, RNG: xrand.New(workerPrepSeed), MCU: mcu, Runs: runs}
+	if err := srv.SetDeterminism(det); err != nil {
+		return nil, err
+	}
 	if err := wf.Apply(point); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"dstress/internal/bitvec"
 
+	"dstress/internal/dram"
 	"dstress/internal/farm"
 	"dstress/internal/fleet"
 	"dstress/internal/ga"
@@ -19,6 +20,11 @@ type SearchConfig struct {
 	Spec      Spec
 	Criterion Criterion
 	Point     OperatingPoint
+	// Determinism selects the dram evaluation contract every measurement of
+	// the search runs under (zero = v1). It reaches the framework's server,
+	// every farm worker clone and every fleet worker, and is recorded in
+	// checkpoints, which are authoritative on resume — exactly like Point.
+	Determinism dram.DeterminismVersion
 	// GA holds the engine parameters; zero value means the paper defaults.
 	GA ga.Params
 	// Resume seeds the initial population with the strongest recorded
@@ -116,6 +122,9 @@ func (f *Framework) RunSearchContext(ctx context.Context, cfg SearchConfig) (*Se
 		// error.
 		params.UseConvergeMinBest = true
 		params.ConvergeMinBest = ueScale * 0.5
+	}
+	if err := f.Srv.SetDeterminism(cfg.Determinism); err != nil {
+		return nil, err
 	}
 	if err := f.Apply(cfg.Point); err != nil {
 		return nil, err

@@ -64,6 +64,21 @@ func BenchmarkRun(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("v2/rows=%d", rows), func(b *testing.B) {
+			v2 := p
+			v2.Version = DeterminismV2
+			v2.RNG = xrand.New(1)
+			if _, err := d.Run(v2); err != nil { // compile both plans
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v2.RNG = xrand.New(uint64(i))
+				if _, err := d.Run(v2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -84,6 +99,15 @@ func BenchmarkAverageRuns(b *testing.B) {
 		b.Run(fmt.Sprintf("reference/rows=%d", rows), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				averageRunsReference(b, d, p, 10, xrand.New(uint64(i)))
+			}
+		})
+		b.Run(fmt.Sprintf("v2/rows=%d", rows), func(b *testing.B) {
+			v2 := p
+			v2.Version = DeterminismV2
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := d.AverageRuns(v2, 10, xrand.New(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

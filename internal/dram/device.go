@@ -96,6 +96,7 @@ type Device struct {
 	// on it; a stale generation triggers recompilation on the next Run.
 	gen        uint64
 	plan       *evalPlan
+	v2plan     *planV2 // SoA view for determinism v2, derived from plan
 	envScratch []float64
 }
 

@@ -39,6 +39,7 @@ import (
 type planCell struct {
 	cand        int32 // index into evalPlan.words
 	bit         int32 // codeword bit to flip on failure
+	src         int32 // defect-map index (v2 draw key; stable across states)
 	charged     bool  // cell holds its charged state
 	vrt         bool  // consumes one Bool(0.5) draw per run
 	tau0        float64
@@ -52,6 +53,7 @@ type planCell struct {
 type planCluster struct {
 	cand       int32
 	partialBit int32 // first charged bit: the partial-band single leak
+	src        int32 // defect-map index (v2 draw key; stable across states)
 	tau0       float64
 	clusterDiv float64 // 1 + α·(chargedN-1) + extα·ext
 	fullBits   []int   // all charged bits, in cluster-bit order
@@ -194,6 +196,7 @@ func (d *Device) compilePlan() *evalPlan {
 			pl.cells = append(pl.cells, planCell{
 				cand:    cand,
 				bit:     int32(w.Bit),
+				src:     int32(wi),
 				charged: charged,
 				vrt:     w.VRT,
 				tau0:    w.Tau0,
@@ -228,6 +231,7 @@ func (d *Device) compilePlan() *evalPlan {
 			pl.clusters = append(pl.clusters, planCluster{
 				cand:       candOf(c.WordCol),
 				partialBit: int32(fullBits[0]),
+				src:        int32(ci),
 				tau0:       c.Tau0,
 				clusterDiv: 1 + phys.ClusterAlpha*float64(chargedN-1) +
 					phys.ClusterExtAlpha*float64(ext),

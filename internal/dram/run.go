@@ -25,6 +25,11 @@ type RunParams struct {
 	// TREFPByRow overrides the refresh period per row, modelling
 	// retention-aware refresh schemes (RAIDR-style): rows binned as weak
 	// refresh faster than the rest. Rows absent from the map use TREFP.
+	//
+	// The override maps (TempByRank, TREFPByRow, ActsPerWindow) are
+	// identified by pointer in the v2 conditions cache: callers may reuse a
+	// map across runs or build a fresh one per run, but must not mutate one
+	// in place between runs of the same device.
 	TREFPByRow map[RowKey]float64
 
 	// ActsPerWindow gives, per row, the number of activations the row
@@ -37,6 +42,14 @@ type RunParams struct {
 	// must be non-nil; re-running with a fresh generator models the
 	// run-to-run variation the paper averages over ten runs.
 	RNG *xrand.Rand
+
+	// Version selects the determinism contract the stochastic terms follow.
+	// The zero value means DeterminismV1 — the original sequential-draw
+	// contract every recorded experiment and v1 checkpoint is pinned to.
+	// DeterminismV2 evaluates on counter-based per-cell streams (run_v2.go):
+	// same physics, different (and order-independent) noise draws, so v1 and
+	// v2 results are each self-consistent but not comparable to one another.
+	Version DeterminismVersion
 }
 
 // Validate reports whether the parameters are usable.
@@ -49,7 +62,7 @@ func (p RunParams) Validate() error {
 	case p.RNG == nil:
 		return fmt.Errorf("dram: RunParams.RNG is nil")
 	}
-	return nil
+	return p.Version.Validate()
 }
 
 // WordError describes one corrupted 72-bit word observed in a run.
@@ -100,6 +113,9 @@ type flipKey struct {
 func (d *Device) Run(p RunParams) (RunResult, error) {
 	if err := p.Validate(); err != nil {
 		return RunResult{}, err
+	}
+	if p.Version.Normalize() == DeterminismV2 {
+		return d.runV2(p)
 	}
 	phys := d.cfg.Physics
 	pl := d.planFor()
@@ -166,9 +182,15 @@ func (d *Device) Run(p RunParams) (RunResult, error) {
 		}
 	}
 
-	// Classify the corrupted words in index order — candidates are laid out
-	// row-major with ascending word columns, so the log comes out sorted.
-	// Touched indices can be out of order only within one row.
+	return pl.classify(), nil
+}
+
+// classify decodes the accumulated flips of a run, draining the scratch.
+// Corrupted words are visited in index order — candidates are laid out
+// row-major with ascending word columns, so the log comes out sorted.
+// Touched indices can be out of order only within one row. Both determinism
+// versions share this tail: flips in, sorted ECC log out.
+func (pl *evalPlan) classify() RunResult {
 	sort.Ints(pl.touched)
 	res := RunResult{CEByRank: make(map[int]int)}
 	for _, wi := range pl.touched {
@@ -195,7 +217,34 @@ func (d *Device) Run(p RunParams) (RunResult, error) {
 		pl.flips[wi] = bits[:0]
 	}
 	pl.touched = pl.touched[:0]
-	return res, nil
+	return res
+}
+
+// classifyCounts is classify for callers that never read the error log: the
+// same SECDED verdict per corrupted word, but only the counts — no sorting,
+// no per-word allocation. Identical flips give identical counts, so the two
+// tails are interchangeable for averaging.
+func (pl *evalPlan) classifyCounts() (ce, sdc, ue int) {
+	for _, wi := range pl.touched {
+		bits := pl.flips[wi]
+		pw := &pl.words[wi]
+		word := pw.enc
+		for _, b := range bits {
+			word = word.FlipBit(b)
+		}
+		dec := ecc.Decode(word)
+		switch {
+		case dec.Status == ecc.Uncorrectable:
+			ue++
+		case dec.Data != pw.original:
+			sdc++
+		case dec.Status == ecc.Corrected:
+			ce++
+		}
+		pl.flips[wi] = bits[:0]
+	}
+	pl.touched = pl.touched[:0]
+	return ce, sdc, ue
 }
 
 // runReference is the direct (plan-free) evaluation the fast path is
@@ -483,6 +532,20 @@ func (d *Device) AverageRuns(p RunParams, n int, rng *xrand.Rand) (meanCE,
 	var ceSum, sdcSum, ues int
 	for i := 0; i < n; i++ {
 		p.RNG = rng.Split()
+		if p.Version.Normalize() == DeterminismV2 {
+			// The batch never reads the error log; the v2 counts path skips
+			// building it and reuses the conditions cache across the runs.
+			ce, sdc, ue, rerr := d.runV2Counts(p)
+			if rerr != nil {
+				return 0, 0, 0, rerr
+			}
+			ceSum += ce
+			sdcSum += sdc
+			if ue > 0 {
+				ues++
+			}
+			continue
+		}
 		res, rerr := d.Run(p)
 		if rerr != nil {
 			return 0, 0, 0, rerr

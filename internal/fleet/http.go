@@ -11,12 +11,16 @@ import (
 // open indefinitely; workers simply re-poll.
 const maxLeaseWait = 25 * time.Second
 
-// Mount registers the fleet protocol under /api/fleet/ on mux.
+// Mount registers the fleet protocol under /api/v1/fleet/ on mux, keeping
+// the historical unversioned /api/fleet/ spelling as an alias so workers of
+// either vintage can join.
 func (c *Coordinator) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("POST /api/fleet/join", c.handleJoin)
-	mux.HandleFunc("POST /api/fleet/heartbeat", c.handleHeartbeat)
-	mux.HandleFunc("POST /api/fleet/lease", c.handleLease)
-	mux.HandleFunc("POST /api/fleet/report", c.handleReport)
+	for _, prefix := range []string{"/api/v1/fleet", "/api/fleet"} {
+		mux.HandleFunc("POST "+prefix+"/join", c.handleJoin)
+		mux.HandleFunc("POST "+prefix+"/heartbeat", c.handleHeartbeat)
+		mux.HandleFunc("POST "+prefix+"/lease", c.handleLease)
+		mux.HandleFunc("POST "+prefix+"/report", c.handleReport)
+	}
 }
 
 func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -76,17 +80,27 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 // JSON 404 (the worker's cue to re-join), cancelled long polls a plain
 // timeout-ish 200 would mask real errors so they stay 500s.
 func workerError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
 	if errors.Is(err, ErrUnknownWorker) {
-		code = http.StatusNotFound
+		writeError(w, http.StatusNotFound, "unknown_worker", err)
+		return
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeError(w, http.StatusInternalServerError, "internal", err)
+}
+
+// writeError answers with the daemon-wide error envelope
+// {"error":{"code","message"}} so fleet responses parse exactly like every
+// other endpoint's.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]map[string]string{"error": {
+		"code":    code,
+		"message": err.Error(),
+	}})
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return false
 	}
 	return true

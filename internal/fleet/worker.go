@@ -298,7 +298,7 @@ func (w *Worker) post(ctx context.Context, verb string, body, out any) error {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		w.base+"/api/fleet/"+verb, bytes.NewReader(buf))
+		w.base+"/api/v1/fleet/"+verb, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}

@@ -40,6 +40,11 @@ type Config struct {
 	AmbientC  float64
 	Cache     memctl.CacheConfig
 	Power     power.Model
+	// Determinism selects the dram evaluation contract (see dram §v2 docs):
+	// the zero value is the v1 sequential-draw contract. Part of the config
+	// so Clone() — and hence every farm worker and fleet rebuild — inherits
+	// it.
+	Determinism dram.DeterminismVersion
 }
 
 // DefaultConfig returns a server with four distinct DIMMs. The strength
@@ -73,6 +78,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: RowsPerBank = %d", cfg.RowsPerBank)
 	}
 	if err := cfg.Power.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Determinism.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, pwr: cfg.Power}
@@ -112,6 +120,21 @@ func MustNew(cfg Config) *Server {
 
 // Config returns the server's construction configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// Determinism returns the evaluation contract the server measures under.
+func (s *Server) Determinism() dram.DeterminismVersion {
+	return s.cfg.Determinism
+}
+
+// SetDeterminism switches the evaluation contract. It mutates the
+// configuration, so clones made afterwards measure under the same contract.
+func (s *Server) SetDeterminism(v dram.DeterminismVersion) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	s.cfg.Determinism = v
+	return nil
+}
 
 // Clone builds a factory-fresh copy of the server from its configuration:
 // bit-identical DIMMs (the defect maps derive from the config seeds),
@@ -216,6 +239,7 @@ func (s *Server) Evaluate(mcu, runs int, rng *xrand.Rand) (EvalResult, error) {
 		TempByRank:    tempByRank,
 		VDD:           ctl.VDD(),
 		ActsPerWindow: ctl.ActsPerWindow(),
+		Version:       s.cfg.Determinism,
 	}
 	res := EvalResult{CEByRank: make(map[int]float64)}
 	ues := 0
