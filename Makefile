@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check detv2-test resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test test-short check detv2-test islands-test lint resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
 
 all: build test
 
@@ -32,6 +32,8 @@ check:
 		./internal/checkpoint ./internal/ga ./internal/core ./internal/farm
 	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./internal/dram
 	$(MAKE) detv2-test
+	$(MAKE) islands-test
+	$(MAKE) lint
 	$(GO) test -race -timeout 30m ./...
 
 # The determinism-v2 differential matrix under the race detector: stream
@@ -42,6 +44,31 @@ check:
 detv2-test:
 	$(GO) test -race -run 'DetV2' \
 		./internal/xrand ./internal/dram ./internal/core ./cmd/dstressd
+
+# Island-model bit-identity matrix: stepper determinism and snapshot resume
+# (internal/ga, internal/islands), the core kill-and-resume matrix at
+# 1/2/4 islands × 1/8 farm workers under both determinism contracts with
+# surrogate screening on and off (internal/core), and the daemon surface —
+# fleet 0/2-node agreement, island job submission, /api/v1 vs legacy
+# /metrics alias consistency (cmd/dstressd). The suite then repeats once
+# under the race detector: island evaluation fans out one goroutine per
+# island over shared farm pools.
+islands-test:
+	$(GO) test -run 'Islands' \
+		./internal/ga ./internal/islands ./internal/core ./cmd/dstressd
+	$(GO) test -race -count 1 -run 'Islands' \
+		./internal/ga ./internal/islands ./internal/core ./cmd/dstressd
+
+# Static analysis over the island/surrogate subsystems: vet, gofmt
+# cleanliness, and staticcheck when one is already on PATH (the build never
+# installs tools).
+lint:
+	$(GO) vet ./internal/islands ./internal/predict ./cmd/benchjson
+	@out=$$(gofmt -l internal/islands internal/predict cmd/benchjson); \
+	if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./internal/islands ./internal/predict; \
+	else echo "lint: staticcheck not on PATH; vet+gofmt only"; fi
 
 # Kill-and-resume integration: SIGKILL a live dstressd mid-search, restart
 # it over the same journal, and require the re-queued job to finish with a
@@ -72,9 +99,12 @@ bench:
 	$(BENCH_FIGS)
 	$(BENCH_MICRO)
 
+# bench-json also runs the islands-vs-single-population campaign (see
+# cmd/benchjson/campaign.go) so every snapshot carries the
+# campaign_wallclock_ratio / campaign_evals_ratio trajectory.
 bench-json:
 	{ $(BENCH_FIGS) ; $(BENCH_MICRO) ; } \
-		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json
+		| $(GO) run ./cmd/benchjson -campaign -out BENCH_$$(date +%Y%m%d).json
 
 # Quick-scale campaign: every figure in a couple of minutes.
 experiments:

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dstress/internal/core"
+	"dstress/internal/dram"
+	"dstress/internal/ga"
+	"dstress/internal/islands"
+	"dstress/internal/predict"
+	"dstress/internal/server"
+	"dstress/internal/xrand"
+)
+
+// Campaign is the wall-clock-to-virus comparison recorded in BENCH_*.json:
+// the same synthesis problem solved twice at the same seed — once by the
+// classic single-population search, once by the island model with surrogate
+// screening (internal/islands) — both timed to the same target fitness.
+//
+// The target is not a free parameter: it is the single-population search's
+// own final best, so the islands run must match the reference's virus
+// quality, not merely climb quickly and stop early. Both time-to-target
+// figures are first-hit times read off each run's per-generation trajectory.
+type Campaign struct {
+	Seed        uint64      `json:"seed"`
+	Rows        int         `json:"rows"`
+	Runs        int         `json:"runs"`
+	Determinism string      `json:"determinism"`
+	Target      float64     `json:"target_fitness"`
+	Single      CampaignRun `json:"single"`
+	Islands     CampaignRun `json:"islands"`
+}
+
+// CampaignRun is one timed search of the campaign.
+type CampaignRun struct {
+	Config        string  `json:"config"`
+	Generations   int     `json:"generations"` // generations actually run
+	BestFitness   float64 `json:"best_fitness"`
+	ReachedTarget bool    `json:"reached_target"`
+	// HitGeneration/HitEvaluations/HitSeconds locate the first generation
+	// whose best met the target: the time-to-virus figures the ratios use.
+	HitGeneration  int     `json:"hit_generation"`
+	HitEvaluations int     `json:"hit_evaluations"`
+	HitSeconds     float64 `json:"hit_seconds"`
+}
+
+// campaignPoint is one generation of a run's trajectory.
+type campaignPoint struct {
+	best    float64
+	elapsed time.Duration
+}
+
+const (
+	campaignRows    = 8
+	campaignRuns    = 4
+	campaignPop     = 24 // single population; the archipelago splits the same budget
+	campaignMaxGen  = 48
+	campaignIslands = 3
+)
+
+// campaignFramework builds a fresh simulated testbed for one run; each run
+// gets its own server so neither search sees the other's state.
+func campaignFramework(seed uint64) (*core.Framework, error) {
+	srv, err := server.New(server.DefaultConfig(campaignRows, seed))
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.New(srv, xrand.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	f.Runs = campaignRuns
+	return f, nil
+}
+
+func campaignConfig(params ga.Params) core.SearchConfig {
+	return core.SearchConfig{
+		Spec:        core.Data64Spec{},
+		Criterion:   core.MaxCE,
+		Point:       core.Relaxed(55),
+		Determinism: dram.DeterminismV2,
+		GA:          params,
+		Workers:     1,
+	}
+}
+
+// runTimed executes one search, recording the per-generation best and
+// elapsed wall clock. When target > 0 the run is cancelled as soon as a
+// completed generation meets it — the islands run does not pay for
+// generations past the finish line.
+func runTimed(cfg core.SearchConfig, seed uint64, target float64) (
+	*core.SearchResult, []campaignPoint, error) {
+	f, err := campaignFramework(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var traj []campaignPoint
+	start := time.Now()
+	cfg.OnGeneration = func(st ga.GenStats) {
+		traj = append(traj, campaignPoint{best: st.Best, elapsed: time.Since(start)})
+		if target > 0 && st.Best >= target {
+			cancel()
+		}
+	}
+	res, err := f.RunSearchContext(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, traj, nil
+}
+
+// firstHit locates the first generation whose best met the target.
+func firstHit(traj []campaignPoint, target float64, evalsAt func(gen int) int) (
+	CampaignRun, bool) {
+	for i, p := range traj {
+		if p.best >= target {
+			return CampaignRun{
+				ReachedTarget:  true,
+				HitGeneration:  i + 1,
+				HitEvaluations: evalsAt(i + 1),
+				HitSeconds:     p.elapsed.Seconds(),
+			}, true
+		}
+	}
+	return CampaignRun{}, false
+}
+
+// runCampaign performs the two timed searches and derives the ratios.
+func runCampaign(seed uint64) (*Campaign, map[string]float64, error) {
+	// Reference: the classic single-population search, run to its natural
+	// finish. Its final best becomes the target both runs are timed to.
+	singleParams := ga.DefaultParams()
+	singleParams.PopulationSize = campaignPop
+	singleParams.MaxGenerations = campaignMaxGen
+	singleRes, singleTraj, err := runTimed(campaignConfig(singleParams), seed, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign reference run: %w", err)
+	}
+	target := singleRes.BestFitness
+
+	// Challenger: the same evaluation budget split over an archipelago with
+	// surrogate screening, cancelled at first hit.
+	islandParams := ga.DefaultParams()
+	islandParams.PopulationSize = campaignPop / campaignIslands
+	islandParams.MaxGenerations = campaignMaxGen
+	// Small islands homogenize quickly; similarity alone must not end the
+	// run below the reference's best, or the comparison would be unfair to
+	// the islands run itself (it would stop early with a weaker virus).
+	islandParams.UseConvergeMinBest = true
+	islandParams.ConvergeMinBest = target
+	islandCfg := campaignConfig(islandParams)
+	islandCfg.Islands = islands.Config{
+		Count: campaignIslands, MigrateEvery: 3, MigrateCount: 2,
+		Surrogate: predict.ScreenPolicy{
+			Enabled: true, Overbreed: 3,
+			MinTrain: campaignPop, Neighbors: 8, Capacity: 256,
+		},
+	}
+	islandRes, islandTraj, err := runTimed(islandCfg, seed, target)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign islands run: %w", err)
+	}
+
+	single, ok := firstHit(singleTraj, target, func(gen int) int {
+		p := singleParams
+		return p.PopulationSize + (gen-1)*(p.PopulationSize-p.ElitismCount)
+	})
+	if !ok {
+		return nil, nil, fmt.Errorf("campaign reference never met its own best")
+	}
+	single.Config = fmt.Sprintf("single population=%d", campaignPop)
+	single.Generations = singleRes.Generations
+	single.BestFitness = singleRes.BestFitness
+
+	islandRun, hit := firstHit(islandTraj, target, func(gen int) int {
+		p := islandParams
+		return campaignIslands *
+			(p.PopulationSize + (gen-1)*(p.PopulationSize-p.ElitismCount))
+	})
+	islandRun.Config = fmt.Sprintf("islands=%d population=%d overbreed=3",
+		campaignIslands, islandParams.PopulationSize)
+	islandRun.Generations = islandRes.Generations
+	islandRun.BestFitness = islandRes.BestFitness
+
+	c := &Campaign{
+		Seed:        seed,
+		Rows:        campaignRows,
+		Runs:        campaignRuns,
+		Determinism: "v2",
+		Target:      target,
+		Single:      single,
+		Islands:     islandRun,
+	}
+	derived := map[string]float64{}
+	if hit && islandRun.HitSeconds > 0 {
+		derived["campaign_wallclock_ratio"] = single.HitSeconds / islandRun.HitSeconds
+		derived["campaign_evals_ratio"] =
+			float64(single.HitEvaluations) / float64(islandRun.HitEvaluations)
+	}
+	return c, derived, nil
+}

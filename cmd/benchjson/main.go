@@ -11,9 +11,17 @@
 // speedup_v2_vs_fast), so regressions of the dram evaluation plan are one
 // `git diff BENCH_*.json` away.
 //
+// With -campaign the tool additionally runs the islands-vs-single-population
+// synthesis campaign (see campaign.go): both searches are timed to the same
+// target fitness at the same seed, and the snapshot gains a "campaign"
+// section plus campaign_wallclock_ratio / campaign_evals_ratio derived keys.
+// -merge grafts the campaign into an existing BENCH_*.json instead of
+// parsing stdin, leaving its benchmark records untouched.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson [-out file] [-indent]
+//	benchjson -campaign [-campaign-seed n] -merge BENCH_2026.json
 package main
 
 import (
@@ -38,29 +46,63 @@ type Benchmark struct {
 
 // Snapshot is the emitted document.
 type Snapshot struct {
-	Date       string             `json:"date"`
-	GOOS       string             `json:"goos,omitempty"`
-	GOARCH     string             `json:"goarch,omitempty"`
-	CPU        string             `json:"cpu,omitempty"`
-	Benchmarks []Benchmark        `json:"benchmarks"`
+	Date       string      `json:"date"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
 	// Derived holds fast-vs-reference speedup ratios keyed by the shared
-	// benchmark name (reference ns/op divided by fast ns/op).
+	// benchmark name (reference ns/op divided by fast ns/op), plus the
+	// campaign_* time-to-virus ratios when -campaign ran.
 	Derived map[string]float64 `json:"derived,omitempty"`
+	// Campaign is the islands-vs-single-population comparison (-campaign).
+	Campaign *Campaign `json:"campaign,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	indent := flag.Bool("indent", true, "indent the JSON output")
+	campaign := flag.Bool("campaign", false,
+		"run the islands-vs-single-population campaign and record its ratios")
+	campaignSeed := flag.Uint64("campaign-seed", 2020,
+		"deterministic seed both campaign searches run at")
+	merge := flag.String("merge", "",
+		"graft the campaign into this existing snapshot instead of reading stdin")
 	flag.Parse()
 
-	snap, err := parse(bufio.NewScanner(os.Stdin))
+	var snap *Snapshot
+	var err error
+	if *merge != "" {
+		snap, err = loadSnapshot(*merge)
+		if *out == "" {
+			out = merge // -merge without -out updates the file in place
+		}
+	} else {
+		snap, err = parse(bufio.NewScanner(os.Stdin))
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	if len(snap.Benchmarks) == 0 {
+	// An empty benchmark set is only an error when benchmarks are the point;
+	// a campaign run carries its own payload.
+	if len(snap.Benchmarks) == 0 && !*campaign {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *campaign {
+		c, derived, err := runCampaign(*campaignSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Campaign = c
+		if snap.Derived == nil && len(derived) > 0 {
+			snap.Derived = map[string]float64{}
+		}
+		for k, v := range derived {
+			snap.Derived[k] = v
+		}
 	}
 
 	var data []byte
@@ -84,6 +126,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n",
 		len(snap.Benchmarks), *out)
+}
+
+// loadSnapshot reads an existing BENCH_*.json for -merge.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
 }
 
 func parse(sc *bufio.Scanner) (*Snapshot, error) {

@@ -67,6 +67,8 @@ import (
 	"dstress/internal/farm"
 	"dstress/internal/fleet"
 	"dstress/internal/ga"
+	"dstress/internal/islands"
+	"dstress/internal/predict"
 	"dstress/internal/server"
 	"dstress/internal/virusdb"
 	"dstress/internal/xrand"
@@ -74,14 +76,15 @@ import (
 
 // daemon owns the shared campaign state.
 type daemon struct {
-	sched   *farm.Scheduler
-	db      *virusdb.DB   // may be nil (no persistence)
-	journal *farm.Journal // may be nil (jobs die with the process)
-	cache   *farm.Cache
-	metrics *farm.Metrics
-	fleet   *fleet.Coordinator
-	rows    int
-	seed    uint64
+	sched      *farm.Scheduler
+	db         *virusdb.DB   // may be nil (no persistence)
+	journal    *farm.Journal // may be nil (jobs die with the process)
+	cache      *farm.Cache
+	metrics    *farm.Metrics
+	islandsMet *islands.Metrics
+	fleet      *fleet.Coordinator
+	rows       int
+	seed       uint64
 }
 
 func newDaemon(budget, rows int, seed uint64, db *virusdb.DB,
@@ -96,14 +99,15 @@ func newDaemon(budget, rows int, seed uint64, db *virusdb.DB,
 	cache := farm.NewCache()
 	cache.SetLimit(1 << 16)
 	return &daemon{
-		sched:   sched,
-		db:      db,
-		journal: journal,
-		cache:   cache,
-		metrics: farm.NewMetrics(),
-		fleet:   fleet.NewCoordinator(fcfg),
-		rows:    rows,
-		seed:    seed,
+		sched:      sched,
+		db:         db,
+		journal:    journal,
+		cache:      cache,
+		metrics:    farm.NewMetrics(),
+		islandsMet: islands.NewMetrics(),
+		fleet:      fleet.NewCoordinator(fcfg),
+		rows:       rows,
+		seed:       seed,
 	}, nil
 }
 
@@ -133,6 +137,14 @@ type jobRequest struct {
 	// different noise for the same seed, so a job must not change contract
 	// mid-campaign — the setting rides in checkpoints and fleet shards.
 	Determinism string `json:"determinism,omitempty"`
+	// Islands, when non-nil, runs the search as an island model (see
+	// internal/islands and DESIGN.md §11): {"count":4,"migrate_every":5,
+	// "migrate_count":2}. Absent fields take the islands defaults.
+	Islands *islands.Config `json:"islands,omitempty"`
+	// Surrogate, when non-nil, overrides Islands.Surrogate — the screening
+	// policy can be toggled without restating the topology. Setting it alone
+	// (no Islands) runs a single island with screening.
+	Surrogate *predict.ScreenPolicy `json:"surrogate,omitempty"`
 }
 
 // parseDeterminism maps the wire spelling to the dram contract version.
@@ -194,8 +206,21 @@ type prepared struct {
 	spec    core.Spec
 	crit    core.Criterion
 	det     dram.DeterminismVersion
+	islands islands.Config
 	name    string
 	timeout time.Duration
+}
+
+// gaParams builds the engine parameters exactly as runSearch will; prepare
+// validates the island configuration against them so a bad submission is a
+// 400 at the API, not a failed job minutes later.
+func (p prepared) gaParams() ga.Params {
+	params := ga.DefaultParams()
+	params.MaxGenerations = p.req.Generations
+	if p.req.Population > 0 {
+		params.PopulationSize = p.req.Population
+	}
+	return params
 }
 
 func (d *daemon) prepare(req jobRequest) (prepared, error) {
@@ -234,18 +259,31 @@ func (d *daemon) prepare(req jobRequest) (prepared, error) {
 	if err != nil {
 		return prepared{}, err
 	}
+	var icfg islands.Config
+	if req.Islands != nil {
+		icfg = *req.Islands
+	}
+	if req.Surrogate != nil {
+		icfg.Surrogate = *req.Surrogate
+	}
+	icfg = icfg.Normalize()
 	name := req.Name
 	if name == "" {
 		name = fmt.Sprintf("%s/%s/%.0fC", spec.Name(), crit, req.TempC)
 	}
-	return prepared{
+	p := prepared{
 		req:     req,
 		spec:    spec,
 		crit:    crit,
 		det:     det,
+		islands: icfg,
 		name:    name,
 		timeout: time.Duration(req.TimeoutS * float64(time.Second)),
-	}, nil
+	}
+	if err := icfg.Validate(p.gaParams()); err != nil {
+		return prepared{}, err
+	}
+	return p, nil
 }
 
 // launch schedules a prepared job. ckpt, when non-empty, is a serialized
@@ -359,22 +397,20 @@ func (d *daemon) runSearch(ctx context.Context, j *farm.Job, p prepared,
 		f.Runs = req.Runs
 	}
 	f.DB = d.db
-	params := ga.DefaultParams()
-	params.MaxGenerations = req.Generations
-	if req.Population > 0 {
-		params.PopulationSize = req.Population
-	}
+	params := p.gaParams()
 	maxGen := params.MaxGenerations
 	cfg := core.SearchConfig{
-		Spec:        p.spec,
-		Criterion:   p.crit,
-		Point:       core.Relaxed(req.TempC),
-		Determinism: p.det,
-		GA:          params,
-		Resume:      req.Resume,
-		Workers:     req.Workers,
-		Cache:       d.cache,
-		Metrics:     d.metrics,
+		Spec:          p.spec,
+		Criterion:     p.crit,
+		Point:         core.Relaxed(req.TempC),
+		Determinism:   p.det,
+		GA:            params,
+		Resume:        req.Resume,
+		Workers:       req.Workers,
+		Cache:         d.cache,
+		Metrics:       d.metrics,
+		Islands:       p.islands,
+		IslandMetrics: d.islandsMet,
 		OnGeneration: func(st ga.GenStats) {
 			j.Progress(st.Generation, maxGen, st.Best)
 		},
@@ -562,7 +598,10 @@ func (d *daemon) getVirusDB(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, recs)
 }
 
-// metricsView aggregates every counter the daemon keeps.
+// metricsView aggregates every counter the daemon keeps. It is the single
+// source for every metrics surface — /api/v1/metrics, the legacy /metrics
+// alias and /debug/vars all render this struct, so the sections (islands and
+// fleet included) cannot drift apart between spellings.
 type metricsView struct {
 	Farm  farm.MetricsSnapshot `json:"farm"`
 	Cache farm.CacheStats      `json:"cache"`
@@ -571,7 +610,8 @@ type metricsView struct {
 		InUse  int              `json:"in_use"`
 		Jobs   []farm.JobStatus `json:"jobs"`
 	} `json:"scheduler"`
-	Fleet fleet.Status `json:"fleet"`
+	Islands islands.MetricsSnapshot `json:"islands"`
+	Fleet   fleet.Status            `json:"fleet"`
 }
 
 func (d *daemon) metricsView() metricsView {
@@ -581,6 +621,7 @@ func (d *daemon) metricsView() metricsView {
 	mv.Sched.Budget = d.sched.Budget()
 	mv.Sched.InUse = d.sched.InUse()
 	mv.Sched.Jobs = d.sched.Jobs()
+	mv.Islands = d.islandsMet.Snapshot()
 	mv.Fleet = d.fleet.Snapshot()
 	return mv
 }

@@ -7,6 +7,7 @@ import (
 	"dstress/internal/checkpoint"
 	"dstress/internal/dram"
 	"dstress/internal/ga"
+	"dstress/internal/islands"
 )
 
 // Checkpoint is a resumable synthesis search: the GA engine's snapshot plus
@@ -37,12 +38,27 @@ type Checkpoint struct {
 	// NoiseRNG is the noise-stream position: the pool root in farm mode,
 	// the framework RNG in serial mode.
 	NoiseRNG [4]uint64 `json:"noise_rng"`
-	// Engine is the GA state at the checkpointed generation boundary.
+	// Engine is the GA state at the checkpointed generation boundary
+	// (single-population searches; unused when Islands is set).
 	Engine ga.Snapshot `json:"engine"`
+
+	// Islands, when non-nil, marks an island-model checkpoint: the
+	// archipelago snapshot — config, every island's engine state, the
+	// migration/screening counters and the surrogate training window —
+	// replaces Engine, and IslandNoise (one farm root per island, island
+	// order) replaces NoiseRNG. Workers still records the total budget.
+	Islands *islands.Snapshot `json:"islands,omitempty"`
+	// IslandNoise holds each island pool's noise-root position.
+	IslandNoise [][4]uint64 `json:"island_noise,omitempty"`
 }
 
 // Generation returns the last completed generation the checkpoint holds.
-func (cp *Checkpoint) Generation() int { return cp.Engine.Generation }
+func (cp *Checkpoint) Generation() int {
+	if cp.Islands != nil {
+		return cp.Islands.Generation
+	}
+	return cp.Engine.Generation
+}
 
 // LoadCheckpoint reads a Checkpoint persisted under CheckpointPath (or by
 // any checkpoint.File). Damage is surfaced, never papered over: a corrupt
@@ -53,7 +69,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if _, err := checkpoint.LoadInto(path, &cp); err != nil {
 		return nil, err
 	}
-	if cp.Experiment == "" || len(cp.Engine.Population) == 0 {
+	usable := len(cp.Engine.Population) > 0 ||
+		(cp.Islands != nil && len(cp.Islands.Islands) > 0)
+	if cp.Experiment == "" || !usable {
 		return nil, fmt.Errorf("core: %s holds no usable checkpoint", path)
 	}
 	return &cp, nil
@@ -189,6 +207,12 @@ func (f *Framework) RunSearchFrom(ctx context.Context, cfg SearchConfig,
 	if cp == nil {
 		return nil, fmt.Errorf("core: nil checkpoint")
 	}
+	if cp.Islands != nil {
+		// The checkpoint is authoritative about the search topology, exactly
+		// as it is about Point and Determinism.
+		return f.resumeIslandSearch(ctx, cfg, cp)
+	}
+	cfg.Islands = islands.Config{}
 	cfg.Point = cp.Point
 	cfg.Determinism = cp.Determinism
 	if key := cfg.experimentKey(); key != cp.Experiment {

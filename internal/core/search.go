@@ -12,6 +12,7 @@ import (
 	"dstress/internal/farm"
 	"dstress/internal/fleet"
 	"dstress/internal/ga"
+	"dstress/internal/islands"
 	"dstress/internal/virusdb"
 )
 
@@ -60,6 +61,20 @@ type SearchConfig struct {
 	// OnGeneration observes each generation's statistics as the search
 	// runs (progress reporting).
 	OnGeneration func(ga.GenStats)
+
+	// Islands selects the island-model search path (internal/islands): K
+	// subpopulations in lockstep with deterministic ring migration and,
+	// optionally, surrogate-assisted offspring screening. The zero value
+	// keeps the classic single-population path untouched. Island searches
+	// require Workers >= 1 (the farm noise protocol); Workers is the total
+	// budget, split evenly across islands with at least one worker each.
+	// The shared fitness Cache is not consulted in island mode — cache hits
+	// would not survive kill-and-resume bit-identically; the checkpointed
+	// surrogate takes over the memoization role. See DESIGN.md §11.
+	Islands islands.Config
+	// IslandMetrics, when non-nil, accumulates island/migration/surrogate
+	// counters across searches — the daemon's /metrics islands section.
+	IslandMetrics *islands.Metrics
 
 	// OnCheckpoint receives a resumable Checkpoint every CheckpointEvery
 	// generations (and, regardless of the interval, the final state of a
@@ -131,6 +146,9 @@ func (f *Framework) RunSearchContext(ctx context.Context, cfg SearchConfig) (*Se
 	}
 	if err := cfg.Spec.Prepare(f); err != nil {
 		return nil, err
+	}
+	if cfg.Islands.Enabled() {
+		return f.runIslandSearch(ctx, cfg, params)
 	}
 
 	// The RNG split order is part of the reproducible protocol: engine
@@ -224,11 +242,17 @@ func (f *Framework) finishSearch(cfg SearchConfig, eng *ga.Engine,
 	if runErr != nil {
 		return nil, runErr
 	}
+	return f.recordResult(cfg, res, eng.Evaluations)
+}
 
+// recordResult re-measures the winner and records the final population in
+// the database — the shared tail of the single-population and island paths.
+func (f *Framework) recordResult(cfg SearchConfig, res ga.Result,
+	evals int) (*SearchResult, error) {
 	out := &SearchResult{
 		Result:      res,
 		Experiment:  cfg.experimentKey(),
-		Evaluations: eng.Evaluations,
+		Evaluations: evals,
 	}
 
 	// Re-deploy and re-measure the winner for the full measurement record.

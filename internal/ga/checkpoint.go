@@ -87,12 +87,19 @@ type Snapshot struct {
 // consumed for the next generation's breeding.
 func (e *Engine) snapshot(gen int, pop []Genome, fits []float64,
 	history []GenStats) (Snapshot, error) {
+	return newSnapshot(gen, pop, fits, e.rng.State(), e.Evaluations, history)
+}
+
+// newSnapshot builds a Snapshot from explicit state — shared by the Engine
+// and the Stepper, whose snapshots are interchangeable on disk.
+func newSnapshot(gen int, pop []Genome, fits []float64, rng [4]uint64,
+	evals int, history []GenStats) (Snapshot, error) {
 	s := Snapshot{
 		Generation:  gen,
 		Population:  make([]GenomeRecord, len(pop)),
 		Fitnesses:   append([]float64(nil), fits...),
-		RNG:         e.rng.State(),
-		Evaluations: e.Evaluations,
+		RNG:         rng,
+		Evaluations: evals,
 		History:     append([]GenStats(nil), history...),
 	}
 	for i, g := range pop {

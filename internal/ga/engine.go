@@ -318,8 +318,8 @@ func (e *Engine) evolve(ctx context.Context, pop []Genome, fits []float64,
 		var children []Genome
 		weights := selectionWeights(len(pop))
 		for len(next)+len(children) < len(pop) {
-			a := pop[e.roulette(weights)]
-			b := pop[e.roulette(weights)]
+			a := pop[roulette(e.rng, weights)]
+			b := pop[roulette(e.rng, weights)]
 			var c1, c2 Genome
 			if e.rng.Bool(p.CrossoverProb) {
 				c1, c2 = a.Crossover(b, e.rng)
@@ -376,12 +376,12 @@ func selectionWeights(n int) []float64 {
 	return w
 }
 
-func (e *Engine) roulette(weights []float64) int {
+func roulette(rng *xrand.Rand, weights []float64) int {
 	total := 0.0
 	for _, w := range weights {
 		total += w
 	}
-	r := e.rng.Float64() * total
+	r := rng.Float64() * total
 	for i, w := range weights {
 		r -= w
 		if r <= 0 {

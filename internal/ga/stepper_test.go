@@ -1,0 +1,192 @@
+package ga
+
+import (
+	"context"
+	"testing"
+
+	"dstress/internal/xrand"
+)
+
+func bitCountBatch() BatchFitness {
+	return SerialBatch(func(g Genome) (float64, error) {
+		b := g.(*BitGenome)
+		n := 0
+		for i := 0; i < b.Bits.Len(); i++ {
+			if b.Bits.Get(i) {
+				n++
+			}
+		}
+		return float64(n), nil
+	})
+}
+
+func stepperParams() Params {
+	p := DefaultParams()
+	p.PopulationSize = 10
+	p.MaxGenerations = 50
+	p.ConvergenceSim = 1
+	p.UseConvergeMinBest = true
+	p.ConvergeMinBest = 1e9 // never converge: the tests drive the loop
+	return p
+}
+
+// runStepper drives a stepper for gens generations and returns its history.
+func runStepper(t *testing.T, st *Stepper, seed uint64, gens int) []GenStats {
+	t.Helper()
+	rng := xrand.New(seed)
+	if _, err := st.Start(context.Background(), RandomBitPopulation(10, 24, rng)); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < gens; g++ {
+		kids := st.Breed(st.Need())
+		fits, err := st.Evaluate(context.Background(), kids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Advance(kids, fits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st.History()
+}
+
+func TestIslandsStepperDeterministic(t *testing.T) {
+	p := stepperParams()
+	mk := func() *Stepper {
+		st, err := NewStepper(p, bitCountBatch(), xrand.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	h1 := runStepper(t, mk(), 11, 8)
+	h2 := runStepper(t, mk(), 11, 8)
+	if len(h1) != len(h2) {
+		t.Fatalf("history lengths differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("generation %d diverged: %+v vs %+v", i+1, h1[i], h2[i])
+		}
+	}
+}
+
+func TestIslandsStepperSnapshotRestore(t *testing.T) {
+	p := stepperParams()
+	full, err := NewStepper(p, bitCountBatch(), xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStepper(t, full, 5, 10)
+
+	// Replay the first 4 generations, snapshot, restore into a fresh
+	// stepper, and run the remaining 6; the histories must agree exactly.
+	half, err := NewStepper(p, bitCountBatch(), xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStepper(t, half, 5, 4)
+	snap, err := half.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewStepper(p, bitCountBatch(), xrand.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 6; g++ {
+		kids := resumed.Breed(resumed.Need())
+		fits, err := resumed.Evaluate(context.Background(), kids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := resumed.Advance(kids, fits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hf, hr := full.History(), resumed.History()
+	if len(hf) != len(hr) {
+		t.Fatalf("history lengths differ: %d vs %d", len(hf), len(hr))
+	}
+	for i := range hf {
+		if hf[i] != hr[i] {
+			t.Fatalf("generation %d diverged after resume: %+v vs %+v",
+				i+1, hf[i], hr[i])
+		}
+	}
+	if full.Evaluations() != resumed.Evaluations() {
+		t.Fatalf("evaluations differ: %d vs %d", full.Evaluations(), resumed.Evaluations())
+	}
+	fp, ff := full.Current()
+	rp, rf := resumed.Current()
+	for i := range fp {
+		if ff[i] != rf[i] || fp[i].SimilarityTo(rp[i]) != 1 {
+			t.Fatalf("final population differs at %d", i)
+		}
+	}
+}
+
+func TestIslandsStepperInjectAndConverge(t *testing.T) {
+	p := stepperParams()
+	p.UseConvergeMinBest = false
+	p.ConvergenceSim = 1
+	st, err := NewStepper(p, bitCountBatch(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	if _, err := st.Start(context.Background(), RandomBitPopulation(10, 24, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged() {
+		t.Fatal("random population reported converged")
+	}
+	// Inject a full population of identical genomes: similarity hits 1 and
+	// the lazily computed convergence flips without an Advance.
+	ones := RandomBitGenome(24, xrand.New(9))
+	clones := make([]Genome, 10)
+	fits := make([]float64, 10)
+	for i := range clones {
+		clones[i] = ones.Clone()
+		fits[i] = 5
+	}
+	st.Inject(clones, fits)
+	if !st.Converged() {
+		t.Fatal("homogeneous population not reported converged")
+	}
+	g, f := st.Best()
+	if f != 5 || g.SimilarityTo(ones) != 1 {
+		t.Fatalf("best after inject: fit %v", f)
+	}
+}
+
+func TestIslandsStepperOverbreed(t *testing.T) {
+	p := stepperParams()
+	st, err := NewStepper(p, bitCountBatch(), xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Start(context.Background(), RandomBitPopulation(10, 24, xrand.New(5))); err != nil {
+		t.Fatal(err)
+	}
+	// Overbreeding (odd count included) must return exactly n children and
+	// leave Advance workable with a screened-down subset.
+	kids := st.Breed(3 * st.Need())
+	if len(kids) != 3*st.Need() {
+		t.Fatalf("bred %d, want %d", len(kids), 3*st.Need())
+	}
+	sub := kids[:st.Need()]
+	fits, err := st.Evaluate(context.Background(), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Advance(sub, fits); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Advance(kids, fits); err == nil {
+		t.Fatal("Advance accepted oversized offspring set")
+	}
+}

@@ -11,19 +11,38 @@ import (
 	"fmt"
 	"math"
 	"sort"
-
-	"dstress/internal/core"
-	"dstress/internal/server"
 )
 
 // ScanPoint is the stress operating point of a health scan. Scans run
 // under relaxed parameters so degradation is visible long before it
-// threatens nominal operation.
-type ScanPoint = core.OperatingPoint
+// threatens nominal operation. It mirrors core.OperatingPoint field for
+// field; predict deliberately does not import core (core's search layer
+// imports predict for surrogate screening), so the probe target is the
+// Prober interface instead of the concrete framework.
+type ScanPoint struct {
+	TREFP float64 // refresh period in seconds
+	VDD   float64 // supply voltage in volts
+	TempC float64 // ambient temperature in °C
+}
 
 // DefaultScanPoint returns the standard probe: maximum refresh period,
-// minimum voltage, 60 °C.
-func DefaultScanPoint() ScanPoint { return core.Relaxed(60) }
+// minimum voltage, 60 °C — the same values as core.Relaxed(60)
+// (core.MaxTREFP, core.RelaxedVDD), pinned here to keep the package
+// dependency-free.
+func DefaultScanPoint() ScanPoint { return ScanPoint{TREFP: 2.283, VDD: 1.428, TempC: 60} }
+
+// Prober is the device surface a health scan needs: apply a stress point,
+// then measure the virus word on each DIMM. *core.Framework implements it.
+type Prober interface {
+	// ApplyScanPoint sets refresh period, voltage and temperature on every
+	// memory controller.
+	ApplyScanPoint(trefp, vdd, tempC float64) error
+	// NumDIMMs returns how many DIMMs a scan visits.
+	NumDIMMs() int
+	// ProbeDIMM measures the virus word on one DIMM and returns its mean
+	// correctable-error count and uncorrectable-error fraction.
+	ProbeDIMM(dimm int, virusWord uint64) (meanCE, ueFrac float64, err error)
+}
 
 // Observation is one DIMM's result in one scan.
 type Observation struct {
@@ -32,27 +51,20 @@ type Observation struct {
 	UEFrac float64
 }
 
-// Scan runs the virus word on every DIMM of the server at the scan point
-// and returns the per-DIMM observations. The framework's MCU selection is
-// restored afterwards.
-func Scan(f *core.Framework, virusWord uint64, point ScanPoint) ([]Observation, error) {
-	if err := f.Srv.SetAllRelaxed(point.TREFP, point.VDD); err != nil {
+// Scan runs the virus word on every DIMM of the prober at the scan point
+// and returns the per-DIMM observations.
+func Scan(p Prober, virusWord uint64, point ScanPoint) ([]Observation, error) {
+	if err := p.ApplyScanPoint(point.TREFP, point.VDD, point.TempC); err != nil {
 		return nil, err
 	}
-	if err := f.Srv.SetTemperature(point.TempC); err != nil {
-		return nil, err
-	}
-	orig := f.MCU
-	defer func() { f.MCU = orig }()
 	var out []Observation
-	for mcu := 0; mcu < server.NumMCUs; mcu++ {
-		f.MCU = mcu
-		m, err := f.MeasureWord(virusWord)
+	for mcu := 0; mcu < p.NumDIMMs(); mcu++ {
+		meanCE, ueFrac, err := p.ProbeDIMM(mcu, virusWord)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Observation{MCU: mcu, MeanCE: m.MeanCE,
-			UEFrac: m.UEFrac})
+		out = append(out, Observation{MCU: mcu, MeanCE: meanCE,
+			UEFrac: ueFrac})
 	}
 	return out, nil
 }

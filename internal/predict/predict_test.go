@@ -1,9 +1,10 @@
-package predict
+package predict_test
 
 import (
 	"testing"
 
 	"dstress/internal/core"
+	"dstress/internal/predict"
 	"dstress/internal/server"
 	"dstress/internal/xrand"
 )
@@ -25,7 +26,7 @@ func testFramework(t testing.TB, seed uint64) *core.Framework {
 
 func TestScanCoversAllDIMMs(t *testing.T) {
 	f := testFramework(t, 1)
-	obs, err := Scan(f, worstWord, DefaultScanPoint())
+	obs, err := predict.Scan(f, worstWord, predict.DefaultScanPoint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,13 +49,13 @@ func TestScanCoversAllDIMMs(t *testing.T) {
 
 func TestHealthyFleetNotFlagged(t *testing.T) {
 	f := testFramework(t, 2)
-	a := NewAnalyzer()
+	a := predict.NewAnalyzer()
 	// DIMM strengths differ by design; within one fleet scan that is
 	// normal variation, not a defect. Use a relaxed fleet threshold
 	// matching the configured strength spread.
 	a.FleetZThreshold = 6
 	for scan := 0; scan < 3; scan++ {
-		obs, err := Scan(f, worstWord, DefaultScanPoint())
+		obs, err := predict.Scan(f, worstWord, predict.DefaultScanPoint())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,11 +74,11 @@ func TestHealthyFleetNotFlagged(t *testing.T) {
 
 func TestDegradingDIMMFlagged(t *testing.T) {
 	f := testFramework(t, 3)
-	a := NewAnalyzer()
+	a := predict.NewAnalyzer()
 	a.FleetZThreshold = 1e9 // isolate the trend detector
 	var flaggedAt int = -1
 	for scan := 0; scan < 6; scan++ {
-		obs, err := Scan(f, worstWord, DefaultScanPoint())
+		obs, err := predict.Scan(f, worstWord, predict.DefaultScanPoint())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,8 +110,8 @@ func TestDegradingDIMMFlagged(t *testing.T) {
 }
 
 func TestUEsFlagImmediately(t *testing.T) {
-	a := NewAnalyzer()
-	verdicts, err := a.Record([]Observation{
+	a := predict.NewAnalyzer()
+	verdicts, err := a.Record([]predict.Observation{
 		{MCU: 0, MeanCE: 10},
 		{MCU: 1, MeanCE: 11, UEFrac: 0.2},
 		{MCU: 2, MeanCE: 9},
@@ -127,8 +128,8 @@ func TestUEsFlagImmediately(t *testing.T) {
 }
 
 func TestFleetOutlierFlagged(t *testing.T) {
-	a := NewAnalyzer()
-	verdicts, err := a.Record([]Observation{
+	a := predict.NewAnalyzer()
+	verdicts, err := a.Record([]predict.Observation{
 		{MCU: 0, MeanCE: 10},
 		{MCU: 1, MeanCE: 11},
 		{MCU: 2, MeanCE: 9},
@@ -148,7 +149,7 @@ func TestFleetOutlierFlagged(t *testing.T) {
 }
 
 func TestAnalyzerValidation(t *testing.T) {
-	a := NewAnalyzer()
+	a := predict.NewAnalyzer()
 	if _, err := a.Record(nil); err == nil {
 		t.Fatal("empty scan accepted")
 	}
@@ -174,15 +175,15 @@ func TestAgeValidation(t *testing.T) {
 }
 
 func TestTrendEstimator(t *testing.T) {
-	a := NewAnalyzer()
+	a := predict.NewAnalyzer()
 	// Feed a synthetic rising series directly.
 	for _, ce := range []float64{10, 12, 14, 16} {
-		if _, err := a.Record([]Observation{{MCU: 0, MeanCE: ce},
+		if _, err := a.Record([]predict.Observation{{MCU: 0, MeanCE: ce},
 			{MCU: 1, MeanCE: 10}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	verdicts, err := a.Record([]Observation{{MCU: 0, MeanCE: 18},
+	verdicts, err := a.Record([]predict.Observation{{MCU: 0, MeanCE: 18},
 		{MCU: 1, MeanCE: 10}})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,320 @@
+// Surrogate-assisted screening: an online fitness predictor trained from
+// completed (genome, fitness) pairs. The island search overbreeds each
+// generation, asks the surrogate to rank the offspring, and sends only the
+// most promising fraction to real device evaluation — the
+// HISTORY-memoization idea taken to its logical end. The predictor is a
+// deterministic similarity-weighted nearest-neighbour model over the
+// genomes' own SimilarityTo metric: no training randomness, no iteration-
+// order dependence, and a serializable training window, so screened
+// searches stay bit-identical across worker counts and kill-and-resume.
+package predict
+
+import (
+	"fmt"
+
+	"dstress/internal/farm"
+	"dstress/internal/ga"
+)
+
+// ScreenPolicyVersion is the current surrogate screening policy version.
+// The policy is versioned like the determinism contract: any change to the
+// prediction or ranking rule bumps it, and checkpoints record it so a
+// resumed search either replays the exact policy or fails loudly.
+const ScreenPolicyVersion = 1
+
+// ScreenPolicy configures surrogate-assisted offspring screening. The zero
+// value disables screening entirely — surrogate use is an explicit knob.
+type ScreenPolicy struct {
+	// Enabled turns screening on.
+	Enabled bool `json:"enabled,omitempty"`
+	// Version pins the screening rule (see ScreenPolicyVersion). Zero
+	// normalizes to the current version; anything else must match a version
+	// this binary implements.
+	Version int `json:"version,omitempty"`
+	// Overbreed is the offspring oversampling factor: each generation
+	// breeds Overbreed×need candidates and real-evaluates the predicted-best
+	// `need` of them. Default 3.
+	Overbreed int `json:"overbreed,omitempty"`
+	// MinTrain is the number of observed evaluations required before the
+	// surrogate screens at all; until then every offspring is evaluated for
+	// real. Default 48.
+	MinTrain int `json:"min_train,omitempty"`
+	// Neighbors is the k of the k-nearest-neighbour predictor. Default 8.
+	Neighbors int `json:"neighbors,omitempty"`
+	// Capacity bounds the training window; the oldest samples are evicted
+	// first. Default 512.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// Normalize fills defaults. A disabled policy normalizes to the zero value
+// so configs compare equal regardless of leftover fields.
+func (p ScreenPolicy) Normalize() ScreenPolicy {
+	if !p.Enabled {
+		return ScreenPolicy{}
+	}
+	if p.Version == 0 {
+		p.Version = ScreenPolicyVersion
+	}
+	if p.Overbreed < 2 {
+		p.Overbreed = 3
+	}
+	if p.MinTrain <= 0 {
+		p.MinTrain = 48
+	}
+	if p.Neighbors <= 0 {
+		p.Neighbors = 8
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = 512
+	}
+	return p
+}
+
+// Validate rejects policies this binary cannot honour bit-identically.
+func (p ScreenPolicy) Validate() error {
+	if !p.Enabled {
+		return nil
+	}
+	p = p.Normalize()
+	switch {
+	case p.Version != ScreenPolicyVersion:
+		return fmt.Errorf("predict: screening policy version %d not supported (have %d)",
+			p.Version, ScreenPolicyVersion)
+	case p.Overbreed > 16:
+		return fmt.Errorf("predict: overbreed %d too large (max 16)", p.Overbreed)
+	case p.Capacity < p.MinTrain:
+		return fmt.Errorf("predict: capacity %d below min_train %d",
+			p.Capacity, p.MinTrain)
+	}
+	return nil
+}
+
+type sample struct {
+	g   ga.Genome
+	key string
+	fit float64
+}
+
+// Surrogate is the online predictor. It is NOT safe for concurrent use; the
+// island search calls it only from its serial lockstep sections, which is
+// also what makes training order — and therefore every prediction —
+// deterministic.
+type Surrogate struct {
+	policy ScreenPolicy
+
+	// ring is the training window. While filling it grows by append; once
+	// at capacity, next points at the oldest sample, which is overwritten
+	// first. Iteration oldest→newest is ring[next:], ring[:next].
+	ring []sample
+	next int
+
+	// byKey gives exact-match predictions and counts duplicates so eviction
+	// only forgets a key when its last sample leaves the window.
+	byKey map[string]*keyEntry
+
+	observations int64
+	predictions  int64
+	exactHits    int64
+}
+
+type keyEntry struct {
+	fit  float64
+	refs int
+}
+
+// NewSurrogate builds a predictor for the given (validated) policy.
+func NewSurrogate(policy ScreenPolicy) (*Surrogate, error) {
+	policy = policy.Normalize()
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if !policy.Enabled {
+		return nil, fmt.Errorf("predict: surrogate requires an enabled policy")
+	}
+	return &Surrogate{
+		policy: policy,
+		ring:   make([]sample, 0, policy.Capacity),
+		byKey:  map[string]*keyEntry{},
+	}, nil
+}
+
+// Policy returns the normalized policy the surrogate runs.
+func (s *Surrogate) Policy() ScreenPolicy { return s.policy }
+
+// Observe adds one completed evaluation to the training window. The genome
+// is cloned; later mutation by the caller cannot corrupt the window.
+func (s *Surrogate) Observe(g ga.Genome, fitness float64) {
+	s.observations++
+	key := farm.GenomeKey(g)
+	smp := sample{g: g.Clone(), key: key, fit: fitness}
+	if len(s.ring) < s.policy.Capacity {
+		s.ring = append(s.ring, smp)
+	} else {
+		old := s.ring[s.next]
+		if e := s.byKey[old.key]; e != nil {
+			e.refs--
+			if e.refs == 0 {
+				delete(s.byKey, old.key)
+			}
+		}
+		s.ring[s.next] = smp
+		s.next = (s.next + 1) % s.policy.Capacity
+	}
+	if e := s.byKey[key]; e != nil {
+		e.fit = fitness // latest measurement wins
+		e.refs++
+	} else {
+		s.byKey[key] = &keyEntry{fit: fitness, refs: 1}
+	}
+}
+
+// Ready reports whether the training window has reached MinTrain samples —
+// the gate before any offspring is screened out.
+func (s *Surrogate) Ready() bool { return len(s.ring) >= s.policy.MinTrain }
+
+// Predict estimates the fitness of an unevaluated genome. An exact key
+// match returns the recorded fitness; otherwise the k nearest training
+// samples by SimilarityTo vote with weight (2·sim−1)² (clamped at zero, so
+// samples no more similar than chance carry no weight), falling back to the
+// plain neighbour mean when every weight vanishes. Ties in similarity
+// resolve to the older sample — iteration order is fixed, so predictions
+// are a pure function of the window contents.
+func (s *Surrogate) Predict(g ga.Genome) float64 {
+	s.predictions++
+	if e := s.byKey[farm.GenomeKey(g)]; e != nil {
+		s.exactHits++
+		return e.fit
+	}
+	k := s.policy.Neighbors
+	type nb struct {
+		sim, fit float64
+	}
+	best := make([]nb, 0, k)
+	consider := func(smp sample) {
+		sim := smp.g.SimilarityTo(g)
+		i := len(best)
+		for i > 0 && best[i-1].sim < sim {
+			i--
+		}
+		if i == k {
+			return
+		}
+		if len(best) < k {
+			best = append(best, nb{})
+		}
+		copy(best[i+1:], best[i:])
+		best[i] = nb{sim: sim, fit: smp.fit}
+	}
+	for _, smp := range s.ring[s.next:] {
+		consider(smp)
+	}
+	for _, smp := range s.ring[:s.next] {
+		consider(smp)
+	}
+	if len(best) == 0 {
+		return 0
+	}
+	var wsum, fsum, plain float64
+	for _, n := range best {
+		w := 2*n.sim - 1
+		if w < 0 {
+			w = 0
+		}
+		w *= w
+		wsum += w
+		fsum += w * n.fit
+		plain += n.fit
+	}
+	if wsum <= 0 {
+		return plain / float64(len(best))
+	}
+	return fsum / wsum
+}
+
+// SurrogateStats summarizes a predictor's activity.
+type SurrogateStats struct {
+	Observations int64 `json:"observations"`
+	Predictions  int64 `json:"predictions"`
+	ExactHits    int64 `json:"exact_hits"`
+	Samples      int   `json:"samples"`
+}
+
+// Stats returns the current counters.
+func (s *Surrogate) Stats() SurrogateStats {
+	return SurrogateStats{
+		Observations: s.observations,
+		Predictions:  s.predictions,
+		ExactHits:    s.exactHits,
+		Samples:      len(s.ring),
+	}
+}
+
+// SurrogateSample is one serialized training sample.
+type SurrogateSample struct {
+	Genome  ga.GenomeRecord `json:"genome"`
+	Fitness float64         `json:"fitness"`
+}
+
+// SurrogateSnapshot is the predictor's resumable state: the policy, the
+// training window in oldest→newest order, and the counters. Restoring it
+// reproduces every future prediction bit-identically.
+type SurrogateSnapshot struct {
+	Policy       ScreenPolicy      `json:"policy"`
+	Samples      []SurrogateSample `json:"samples,omitempty"`
+	Observations int64             `json:"observations"`
+	Predictions  int64             `json:"predictions"`
+	ExactHits    int64             `json:"exact_hits"`
+}
+
+// Snapshot serializes the surrogate.
+func (s *Surrogate) Snapshot() (SurrogateSnapshot, error) {
+	ss := SurrogateSnapshot{
+		Policy:       s.policy,
+		Observations: s.observations,
+		Predictions:  s.predictions,
+		ExactHits:    s.exactHits,
+	}
+	emit := func(smp sample) error {
+		rec, err := ga.EncodeGenome(smp.g)
+		if err != nil {
+			return err
+		}
+		ss.Samples = append(ss.Samples, SurrogateSample{Genome: rec, Fitness: smp.fit})
+		return nil
+	}
+	for _, smp := range s.ring[s.next:] {
+		if err := emit(smp); err != nil {
+			return SurrogateSnapshot{}, err
+		}
+	}
+	for _, smp := range s.ring[:s.next] {
+		if err := emit(smp); err != nil {
+			return SurrogateSnapshot{}, err
+		}
+	}
+	return ss, nil
+}
+
+// RestoreSurrogate rebuilds a predictor from its snapshot. The snapshot's
+// policy is authoritative (it was validated when the search started).
+func RestoreSurrogate(ss SurrogateSnapshot) (*Surrogate, error) {
+	s, err := NewSurrogate(ss.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if len(ss.Samples) > s.policy.Capacity {
+		return nil, fmt.Errorf("predict: snapshot holds %d samples, capacity %d",
+			len(ss.Samples), s.policy.Capacity)
+	}
+	for i, smp := range ss.Samples {
+		g, err := ga.DecodeGenome(smp.Genome)
+		if err != nil {
+			return nil, fmt.Errorf("predict: restoring sample %d: %w", i, err)
+		}
+		s.Observe(g, smp.Fitness)
+	}
+	s.observations = ss.Observations
+	s.predictions = ss.Predictions
+	s.exactHits = ss.ExactHits
+	return s, nil
+}
