@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check detv2-test islands-test lint resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test test-short check detv2-test islands-test store-test lint resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
 
 all: build test
 
@@ -33,6 +33,7 @@ check:
 	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./internal/dram
 	$(MAKE) detv2-test
 	$(MAKE) islands-test
+	$(MAKE) store-test
 	$(MAKE) lint
 	$(GO) test -race -timeout 30m ./...
 
@@ -59,15 +60,26 @@ islands-test:
 	$(GO) test -race -count 1 -run 'Islands' \
 		./internal/ga ./internal/islands ./internal/core ./cmd/dstressd
 
-# Static analysis over the island/surrogate subsystems: vet, gofmt
-# cleanliness, and staticcheck when one is already on PATH (the build never
-# installs tools).
+# The persistence crash matrix: subprocess SIGKILL mid-append, mid-rotation
+# and mid-compaction of the segmented store (every acknowledged record must
+# replay after a strict reopen), the staged crash windows of the
+# legacy-file migration (virusdb JSON array, farm whole-doc journal), the
+# salvage/validation regression suites, and one -race iteration of the
+# store package: the store is shared by concurrent campaign jobs.
+store-test:
+	$(GO) test -run 'Seglog|Migrat|Torn|Corrupt|Compact|Manifest|Salvage|Journal' \
+		./internal/seglog ./internal/virusdb ./internal/farm
+	$(GO) test -race -count 1 ./internal/seglog
+
+# Static analysis over the island/surrogate/persistence subsystems: vet,
+# gofmt cleanliness, and staticcheck when one is already on PATH (the build
+# never installs tools).
 lint:
-	$(GO) vet ./internal/islands ./internal/predict ./cmd/benchjson
-	@out=$$(gofmt -l internal/islands internal/predict cmd/benchjson); \
+	$(GO) vet ./internal/islands ./internal/predict ./internal/seglog ./cmd/benchjson
+	@out=$$(gofmt -l internal/islands internal/predict internal/seglog cmd/benchjson); \
 	if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./internal/islands ./internal/predict; \
+		staticcheck ./internal/islands ./internal/predict ./internal/seglog; \
 	else echo "lint: staticcheck not on PATH; vet+gofmt only"; fi
 
 # Kill-and-resume integration: SIGKILL a live dstressd mid-search, restart
@@ -100,11 +112,12 @@ bench:
 	$(BENCH_MICRO)
 
 # bench-json also runs the islands-vs-single-population campaign (see
-# cmd/benchjson/campaign.go) so every snapshot carries the
-# campaign_wallclock_ratio / campaign_evals_ratio trajectory.
+# cmd/benchjson/campaign.go) and the persistence benchmark (store.go) so
+# every snapshot carries the campaign_* ratios and the store append-latency
+# trajectory.
 bench-json:
 	{ $(BENCH_FIGS) ; $(BENCH_MICRO) ; } \
-		| $(GO) run ./cmd/benchjson -campaign -out BENCH_$$(date +%Y%m%d).json
+		| $(GO) run ./cmd/benchjson -campaign -store -out BENCH_$$(date +%Y%m%d).json
 
 # Quick-scale campaign: every figure in a couple of minutes.
 experiments:

@@ -15,13 +15,18 @@
 // synthesis campaign (see campaign.go): both searches are timed to the same
 // target fitness at the same seed, and the snapshot gains a "campaign"
 // section plus campaign_wallclock_ratio / campaign_evals_ratio derived keys.
-// -merge grafts the campaign into an existing BENCH_*.json instead of
+// With -store it runs the persistence benchmark (see store.go): p50/p99
+// append latency and bytes written per append for the virus database at 10k
+// and 100k preloaded records, legacy whole-file-rewrite layout vs the
+// seglog store, recorded as a "store" section plus store_* derived ratios.
+// -merge grafts these sections into an existing BENCH_*.json instead of
 // parsing stdin, leaving its benchmark records untouched.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson [-out file] [-indent]
 //	benchjson -campaign [-campaign-seed n] -merge BENCH_2026.json
+//	benchjson -store -merge BENCH_2026.json
 package main
 
 import (
@@ -57,6 +62,9 @@ type Snapshot struct {
 	Derived map[string]float64 `json:"derived,omitempty"`
 	// Campaign is the islands-vs-single-population comparison (-campaign).
 	Campaign *Campaign `json:"campaign,omitempty"`
+	// Store is the virusdb persistence comparison (-store): legacy
+	// whole-file rewrites vs seglog appends at growing database sizes.
+	Store *StoreBench `json:"store,omitempty"`
 }
 
 func main() {
@@ -66,8 +74,12 @@ func main() {
 		"run the islands-vs-single-population campaign and record its ratios")
 	campaignSeed := flag.Uint64("campaign-seed", 2020,
 		"deterministic seed both campaign searches run at")
+	store := flag.Bool("store", false,
+		"run the virusdb persistence benchmark and record its latencies")
+	storeAppends := flag.Int("store-appends", 256,
+		"timed appends per store benchmark point")
 	merge := flag.String("merge", "",
-		"graft the campaign into this existing snapshot instead of reading stdin")
+		"graft the extra sections into this existing snapshot instead of reading stdin")
 	flag.Parse()
 
 	var snap *Snapshot
@@ -85,8 +97,8 @@ func main() {
 		os.Exit(1)
 	}
 	// An empty benchmark set is only an error when benchmarks are the point;
-	// a campaign run carries its own payload.
-	if len(snap.Benchmarks) == 0 && !*campaign {
+	// a campaign or store run carries its own payload.
+	if len(snap.Benchmarks) == 0 && !*campaign && !*store {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
@@ -97,12 +109,16 @@ func main() {
 			os.Exit(1)
 		}
 		snap.Campaign = c
-		if snap.Derived == nil && len(derived) > 0 {
-			snap.Derived = map[string]float64{}
+		mergeDerived(snap, derived)
+	}
+	if *store {
+		sb, derived, err := runStoreBench([]int{10_000, 100_000}, *storeAppends)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
-		for k, v := range derived {
-			snap.Derived[k] = v
-		}
+		snap.Store = sb
+		mergeDerived(snap, derived)
 	}
 
 	var data []byte
@@ -126,6 +142,16 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n",
 		len(snap.Benchmarks), *out)
+}
+
+// mergeDerived folds extra derived keys into the snapshot.
+func mergeDerived(snap *Snapshot, derived map[string]float64) {
+	if snap.Derived == nil && len(derived) > 0 {
+		snap.Derived = map[string]float64{}
+	}
+	for k, v := range derived {
+		snap.Derived[k] = v
+	}
 }
 
 // loadSnapshot reads an existing BENCH_*.json for -merge.

@@ -794,9 +794,10 @@ func runWorker(coordinator, name string) {
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	budget := flag.Int("budget", 8, "global worker budget shared by all jobs")
-	dbPath := flag.String("db", "", "shared virus database file (optional)")
+	dbPath := flag.String("db", "",
+		"shared virus database path (optional); legacy JSON files auto-migrate to the segmented store, keeping the original at <path>.legacy")
 	journalPath := flag.String("journal", "",
-		"job journal file: submissions survive restarts and resume from their last checkpoint (optional)")
+		"job journal path: submissions survive restarts and resume from their last checkpoint (optional); legacy files auto-migrate like -db")
 	drain := flag.Duration("drain", 30*time.Second,
 		"graceful-shutdown deadline for running jobs to checkpoint and exit")
 	rows := flag.Int("rows", 16, "default rows per bank of simulated DIMMs")

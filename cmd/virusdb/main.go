@@ -6,6 +6,10 @@
 //
 //	virusdb -db viruses.json                      # list experiments
 //	virusdb -db viruses.json -experiment data64/max-ce/55C [-top 10]
+//	virusdb -db viruses.json -compact             # offline store compaction
+//
+// A database in the pre-seglog single-file format is migrated to the
+// segmented store on open (the original bytes are kept at <path>.legacy).
 package main
 
 import (
@@ -20,11 +24,20 @@ func main() {
 	dbPath := flag.String("db", "viruses.json", "virus database file")
 	experiment := flag.String("experiment", "", "experiment to dump")
 	top := flag.Int("top", 10, "number of strongest viruses to show")
+	compact := flag.Bool("compact", false,
+		"rewrite the store into one fresh segment (reclaims space dropped by salvage)")
 	flag.Parse()
 
 	db, err := virusdb.Open(*dbPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *compact {
+		if err := db.Compact(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: compacted %d records\n", *dbPath, db.Len())
+		return
 	}
 	if db.Len() == 0 {
 		fmt.Printf("%s: empty database\n", *dbPath)

@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"dstress/internal/seglog"
 )
 
 // Header constants. The version is bumped on any incompatible format change;
@@ -187,16 +189,33 @@ func LoadInto(path string, v any) (LoadResult, error) {
 	return res, nil
 }
 
+// LoadBytes is Load over an in-memory copy of a checkpoint file — used when
+// the bytes come from somewhere other than the live path, e.g. a legacy file
+// being migrated. The name passed is only for error messages.
+func LoadBytes(data []byte, name string) (LoadResult, error) {
+	recs, salvaged, err := parseRecords(data, name)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	last := recs[len(recs)-1]
+	return LoadResult{Payload: last.payload, Seq: last.seq, Salvaged: salvaged}, nil
+}
+
 // readRecords parses the file, returning every intact record in order plus
-// the number of damaged lines dropped. Scanning stops at the first damaged
-// line: anything after it is unordered debris from a torn write, and
-// trusting a "valid-looking" record beyond the damage could resurrect state
-// newer than what the writer actually committed.
+// the number of damaged lines dropped.
 func readRecords(path string) ([]record, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("checkpoint: %w", err)
 	}
+	return parseRecords(data, path)
+}
+
+// parseRecords scans checkpoint bytes. Scanning stops at the first damaged
+// line: anything after it is unordered debris from a torn write, and
+// trusting a "valid-looking" record beyond the damage could resurrect state
+// newer than what the writer actually committed.
+func parseRecords(data []byte, path string) ([]record, int, error) {
 	lines := strings.Split(string(data), "\n")
 	if len(lines) > 0 && lines[len(lines)-1] == "" {
 		lines = lines[:len(lines)-1] // trailing newline of a complete file
@@ -293,5 +312,8 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	return nil
+	// The rename itself is only durable once the directory entry is: on
+	// some filesystems a crash right after the rename can lose the file
+	// entirely without this.
+	return seglog.FsyncDir(dir)
 }

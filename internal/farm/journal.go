@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dstress/internal/checkpoint"
+	"dstress/internal/seglog"
 )
 
 // JournalEntry is one durable job record: everything a restarted daemon
@@ -29,47 +30,142 @@ type JournalEntry struct {
 	Submitted time.Time `json:"submitted"`
 }
 
-// journalDoc is the persisted form: the whole journal as one record, so a
-// crash can never leave entries from different moments mixed together.
+// journalDoc is the pre-seglog persisted form — the whole journal as one
+// checkpoint record. It survives only as the migration source: a legacy
+// journal file found at the path is converted to the segmented store on
+// open.
 type journalDoc struct {
 	Jobs []JournalEntry `json:"jobs"`
 }
 
-// Journal persists a scheduler's durable jobs with the crash-safe
-// internal/checkpoint discipline. Entries live from submission to terminal
-// state; whatever the journal holds when the process dies is exactly the
-// set of jobs a restart must re-queue.
+// journalOp is one persisted delta. The journal used to rewrite the whole
+// document on every state change — O(journal size) per update, O(N²)
+// cumulative; now each change appends one CRC'd frame and the live set is
+// the result of replaying them.
+type journalOp struct {
+	Op         string          `json:"op"` // "add", "state", "checkpoint", "remove"
+	ID         int             `json:"id,omitempty"`
+	Entry      *JournalEntry   `json:"entry,omitempty"`
+	State      string          `json:"state,omitempty"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// journalStoreOptions: full durability (each op fsynced before the mutation
+// returns), modest rotation because checkpoint deltas can be large, and
+// salvage replay — a torn or damaged tail yields the longest consistent
+// prefix instead of refusing to start, mirroring the old checkpoint-file
+// salvage.
+var journalStoreOptions = seglog.Options{
+	SyncEvery:   1,
+	RotateBytes: 1 << 20,
+	Salvage:     true,
+}
+
+// journalCompactMinOps is how many appended ops accumulate before an
+// in-flight compaction is considered (and only when they dwarf the live
+// set), bounding on-disk growth over a long-running daemon.
+const journalCompactMinOps = 1024
+
+// Journal persists a scheduler's durable jobs with the crash-safe seglog
+// discipline. Entries live from submission to terminal state; whatever the
+// journal holds when the process dies is exactly the set of jobs a restart
+// must re-queue.
 type Journal struct {
 	path string
 
 	mu        sync.Mutex
-	file      *checkpoint.File
+	log       *seglog.Store
 	entries   map[int]*JournalEntry
 	recovered []JournalEntry
+	// recoveredLive is true while the previous process's entries are still
+	// on disk. The first mutation of the new live set retires them — the
+	// same moment the old whole-doc rewrite implicitly dropped them.
+	recoveredLive   bool
+	opsSinceCompact int
 }
 
 // OpenJournal opens (or creates) the journal at path and sets aside any
 // entries a previous process left behind — see Recovered. The new process
 // starts with an empty live set; re-queueing recovered jobs re-journals
-// them under fresh ids.
+// them under fresh ids. A journal in the pre-seglog single-file format is
+// migrated to the segmented store in place (the original bytes are kept at
+// <path>.legacy), and the store is compacted on open so recovered entries
+// are rewritten in their interrupted state as the log's canonical contents.
 func OpenJournal(path string) (*Journal, error) {
-	var doc journalDoc
-	if _, err := checkpoint.LoadInto(path, &doc); err != nil &&
-		!checkpoint.IsEmpty(err) {
+	convert := func(data []byte) ([][]byte, error) {
+		res, err := checkpoint.LoadBytes(data, path)
+		if err != nil {
+			if checkpoint.IsEmpty(err) {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("farm: journal: %w", err)
+		}
+		var doc journalDoc
+		if err := json.Unmarshal(res.Payload, &doc); err != nil {
+			return nil, fmt.Errorf("farm: journal: %s: %w", path, err)
+		}
+		payloads := make([][]byte, 0, len(doc.Jobs))
+		for i := range doc.Jobs {
+			p, err := json.Marshal(journalOp{Op: "add", Entry: &doc.Jobs[i]})
+			if err != nil {
+				return nil, fmt.Errorf("farm: journal: %w", err)
+			}
+			payloads = append(payloads, p)
+		}
+		return payloads, nil
+	}
+	if err := seglog.Migrate(path, journalStoreOptions, convert); err != nil {
 		return nil, fmt.Errorf("farm: journal: %w", err)
 	}
-	file, err := checkpoint.Open(path, checkpoint.DefaultKeep)
+	st, res, err := seglog.Open(path, journalStoreOptions)
 	if err != nil {
 		return nil, fmt.Errorf("farm: journal: %w", err)
 	}
+	live := make(map[int]*JournalEntry)
+	for _, p := range res.Payloads {
+		var op journalOp
+		if err := json.Unmarshal(p, &op); err != nil {
+			continue // CRC-intact but undecodable: skip, never invent state
+		}
+		switch op.Op {
+		case "add":
+			if op.Entry != nil {
+				e := *op.Entry
+				live[e.ID] = &e
+			}
+		case "state":
+			if e, ok := live[op.ID]; ok {
+				e.State = op.State
+			}
+		case "checkpoint":
+			if e, ok := live[op.ID]; ok {
+				e.Checkpoint = op.Checkpoint
+			}
+		case "remove":
+			delete(live, op.ID)
+		}
+	}
 	jl := &Journal{
 		path:    path,
-		file:    file,
+		log:     st,
 		entries: make(map[int]*JournalEntry),
 	}
-	for _, e := range doc.Jobs {
+	ids := make([]int, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // ids rise with submission, so this is submission order
+	for _, id := range ids {
+		e := *live[id]
 		e.State = "interrupted" // whatever it was doing, it is not anymore
 		jl.recovered = append(jl.recovered, e)
+	}
+	jl.recoveredLive = len(jl.recovered) > 0
+	// Compact on open: the log restarts as exactly the interrupted-state
+	// recovery set, dropping the old process's delta history.
+	if err := jl.compactLocked(); err != nil {
+		st.Close()
+		return nil, err
 	}
 	return jl, nil
 }
@@ -95,11 +191,19 @@ func (jl *Journal) Len() int {
 	return len(jl.entries)
 }
 
+// Close releases the underlying store handle (tests and tools; the daemon
+// holds its journal for the process lifetime).
+func (jl *Journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.log.Close()
+}
+
 func (jl *Journal) add(e JournalEntry) error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	jl.entries[e.ID] = &e
-	return jl.persistLocked()
+	return jl.appendLocked(journalOp{Op: "add", Entry: &e})
 }
 
 func (jl *Journal) setState(id int, state string) error {
@@ -110,7 +214,7 @@ func (jl *Journal) setState(id int, state string) error {
 		return nil
 	}
 	e.State = state
-	return jl.persistLocked()
+	return jl.appendLocked(journalOp{Op: "state", ID: id, State: state})
 }
 
 func (jl *Journal) setCheckpoint(id int, cp json.RawMessage) error {
@@ -121,7 +225,7 @@ func (jl *Journal) setCheckpoint(id int, cp json.RawMessage) error {
 		return nil // job already retired; a late checkpoint is not an error
 	}
 	e.Checkpoint = append(json.RawMessage(nil), cp...)
-	return jl.persistLocked()
+	return jl.appendLocked(journalOp{Op: "checkpoint", ID: id, Checkpoint: e.Checkpoint})
 }
 
 func (jl *Journal) remove(id int) error {
@@ -131,14 +235,64 @@ func (jl *Journal) remove(id int) error {
 		return nil
 	}
 	delete(jl.entries, id)
-	return jl.persistLocked()
+	return jl.appendLocked(journalOp{Op: "remove", ID: id})
 }
 
-func (jl *Journal) persistLocked() error {
-	doc := journalDoc{Jobs: make([]JournalEntry, 0, len(jl.entries))}
-	for _, e := range jl.entries {
-		doc.Jobs = append(doc.Jobs, *e)
+// appendLocked persists deltas, O(1) in journal size. The first mutation
+// after open also retires the previous process's recovered entries from
+// disk — by then the caller has had its chance to re-queue them, and the
+// old whole-doc rewrite dropped them at exactly this point.
+func (jl *Journal) appendLocked(ops ...journalOp) error {
+	if jl.recoveredLive {
+		rm := make([]journalOp, 0, len(jl.recovered))
+		for _, e := range jl.recovered {
+			rm = append(rm, journalOp{Op: "remove", ID: e.ID})
+		}
+		ops = append(rm, ops...)
 	}
-	sort.Slice(doc.Jobs, func(i, k int) bool { return doc.Jobs[i].ID < doc.Jobs[k].ID })
-	return jl.file.Save(doc)
+	payloads := make([][]byte, 0, len(ops))
+	for _, op := range ops {
+		p, err := json.Marshal(op)
+		if err != nil {
+			return fmt.Errorf("farm: journal: %w", err)
+		}
+		payloads = append(payloads, p)
+	}
+	if err := jl.log.Append(payloads...); err != nil {
+		return fmt.Errorf("farm: journal: %w", err)
+	}
+	jl.recoveredLive = false
+	jl.opsSinceCompact += len(ops)
+	if jl.opsSinceCompact >= journalCompactMinOps &&
+		jl.opsSinceCompact > 8*(len(jl.entries)+1) {
+		return jl.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the store to one "add" op per live entry (the
+// recovery set while recoveredLive, the live map afterwards), with seglog's
+// atomic manifest swap: a crash leaves either the old log or the new one.
+func (jl *Journal) compactLocked() error {
+	var jobs []JournalEntry
+	if jl.recoveredLive {
+		jobs = append(jobs, jl.recovered...)
+	}
+	for _, e := range jl.entries {
+		jobs = append(jobs, *e)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	payloads := make([][]byte, 0, len(jobs))
+	for i := range jobs {
+		p, err := json.Marshal(journalOp{Op: "add", Entry: &jobs[i]})
+		if err != nil {
+			return fmt.Errorf("farm: journal: %w", err)
+		}
+		payloads = append(payloads, p)
+	}
+	if err := jl.log.Compact(payloads); err != nil {
+		return fmt.Errorf("farm: journal: %w", err)
+	}
+	jl.opsSinceCompact = 0
+	return nil
 }

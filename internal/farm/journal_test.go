@@ -3,9 +3,12 @@ package farm
 import (
 	"context"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"dstress/internal/checkpoint"
 )
 
 func journaledScheduler(t *testing.T, path string, budget int) (*Scheduler, *Journal) {
@@ -165,6 +168,141 @@ func TestJournalSurvivesKillWithoutDrain(t *testing.T) {
 	}
 	s.Close() // cleanup of the "dead" process
 	s.Wait()
+}
+
+// TestJournalMigratesLegacyFile: a journal in the pre-seglog whole-doc
+// checkpoint format is converted on open with its entries recoverable, the
+// original bytes preserved at <path>.legacy, and the converted store
+// reusable across further opens.
+func TestJournalMigratesLegacyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	doc := journalDoc{Jobs: []JournalEntry{
+		{ID: 3, Name: "beta", Workers: 2, State: "running",
+			Spec:       json.RawMessage(`{"template":"data64"}`),
+			Checkpoint: json.RawMessage(`{"gen":9}`)},
+		{ID: 1, Name: "alpha", Workers: 1, State: "pending",
+			Spec: json.RawMessage(`{"template":"rowhammer"}`)},
+	}}
+	cf, err := checkpoint.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Save(doc); err != nil {
+		t.Fatal(err)
+	}
+
+	jl, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := jl.Recovered()
+	if len(rec) != 2 || rec[0].ID != 1 || rec[1].ID != 3 {
+		t.Fatalf("recovered = %+v", rec)
+	}
+	if rec[1].Name != "beta" || rec[1].State != "interrupted" ||
+		string(rec[1].Checkpoint) != `{"gen":9}` {
+		t.Fatalf("migrated entry = %+v", rec[1])
+	}
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		t.Fatal("journal path is not a store directory after migration")
+	}
+	if _, err := os.Stat(path + ".legacy"); err != nil {
+		t.Fatalf("legacy journal bytes not preserved: %v", err)
+	}
+	jl.Close()
+	// Idempotent: nothing was mutated, so a further open still recovers both.
+	jl2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := jl2.Recovered(); len(rec) != 2 {
+		t.Fatalf("re-open recovered %d jobs, want 2", len(rec))
+	}
+	jl2.Close()
+}
+
+// TestJournalDeltasStayBounded: the on-disk journal must not retain one
+// frame per historical state change forever — the in-flight compaction
+// rewrites it once the delta history dwarfs the live set.
+func TestJournalDeltasStayBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	jl, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	spec := json.RawMessage(`{"k":1}`)
+	for i := 0; i < 2000; i++ {
+		if err := jl.add(JournalEntry{ID: i, Name: "j", Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+		if err := jl.setState(i, "running"); err != nil {
+			t.Fatal(err)
+		}
+		if err := jl.remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jl.opsSinceCompact >= 3*2000 {
+		t.Fatalf("no compaction after %d ops", jl.opsSinceCompact)
+	}
+	// A fresh open replays to the same (empty) live set.
+	jl2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if len(jl2.Recovered()) != 0 {
+		t.Fatal("retired jobs resurrected by replay")
+	}
+}
+
+// TestJournalRecoveredRetiredOnFirstMutation pins the whole-doc-era
+// contract: the previous process's entries stay recoverable on disk until
+// the new process journals something, and are gone after.
+func TestJournalRecoveredRetiredOnFirstMutation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	jl, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.add(JournalEntry{ID: 7, Name: "old", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close() // "crash": entry 7 left journaled
+
+	jl2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := jl2.Recovered(); len(rec) != 1 || rec[0].ID != 7 {
+		t.Fatalf("recovered = %+v", rec)
+	}
+	jl2.Close() // no mutation: entry 7 must still be on disk
+
+	jl3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := jl3.Recovered(); len(rec) != 1 {
+		t.Fatalf("pre-mutation reopen recovered %d jobs, want 1", len(rec))
+	}
+	// The first mutation retires it.
+	if err := jl3.add(JournalEntry{ID: 100, Name: "new", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl3.remove(100); err != nil {
+		t.Fatal(err)
+	}
+	jl3.Close()
+	jl4, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl4.Close()
+	if rec := jl4.Recovered(); len(rec) != 0 {
+		t.Fatalf("post-mutation reopen recovered %+v, want none", rec)
+	}
 }
 
 func TestSubmitDurableRequiresJournal(t *testing.T) {

@@ -1,18 +1,25 @@
 // Package virusdb persists every evaluated virus — its chromosome, the
-// operating conditions and the measured error counts — to a JSON file, as
-// the paper's evaluation phase records each virus in a database. The record
-// of an interrupted search seeds a new GA run (the framework's resume
-// mechanism).
+// operating conditions and the measured error counts — as the paper's
+// evaluation phase records each virus in a database. The record of an
+// interrupted search seeds a new GA run (the framework's resume mechanism).
+//
+// Storage is a seglog store (see internal/seglog): one CRC-32C-framed append
+// per record, so insert cost is independent of database size. Earlier
+// versions kept a single JSON array and re-marshalled and re-fsynced all of
+// it on every insert — O(N²) cumulative write cost over a campaign. A legacy
+// JSON-array file found at the database path is migrated into a store
+// directory transparently on open (the original bytes are kept at
+// <path>.legacy).
 package virusdb
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
+
+	"dstress/internal/seglog"
 )
 
 // Record is one evaluated virus.
@@ -47,6 +54,11 @@ func (r Record) Validate() error {
 	if r.Bits != "" && r.Ints != nil {
 		return fmt.Errorf("virusdb: record has two chromosomes")
 	}
+	// A non-nil but empty Ints slice is not a chromosome either: such a
+	// record could be stored but can never seed a resumed search.
+	if r.Bits == "" && len(r.Ints) == 0 {
+		return fmt.Errorf("virusdb: empty chromosome")
+	}
 	for _, c := range r.Bits {
 		if c != '0' && c != '1' {
 			return fmt.Errorf("virusdb: bad bit %q", c)
@@ -55,65 +67,110 @@ func (r Record) Validate() error {
 	return nil
 }
 
-// DB is a JSON-file-backed virus database. It is safe for concurrent use:
-// campaign jobs evaluating in parallel share one database, and every write
-// goes to disk atomically (temp file, fsync, rename) so a crash mid-write
-// never poisons the resume mechanism with a half-written file.
+// DB is a seglog-backed virus database. It is safe for concurrent use:
+// campaign jobs evaluating in parallel share one database, and every append
+// is fsynced before it returns, so a crash never loses an acknowledged
+// record and never poisons the resume mechanism with a half-written one.
 type DB struct {
 	path string
 
 	mu      sync.Mutex
 	records []Record
+	log     *seglog.Store
 }
 
-// Open loads the database at path, creating an empty one if the file does
-// not exist. A file that does not parse — e.g. truncated by a crash of a
-// writer without atomic saves — is an error; OpenSalvage recovers the
-// readable prefix instead.
+// storeOptions is the append discipline both open paths share: full
+// durability (every Append call fsyncs once) with default segment rotation.
+var storeOptions = seglog.Options{SyncEvery: 1}
+
+// Open loads the database at path, creating an empty one if nothing exists
+// there. A legacy JSON-array file is migrated to the segmented store in
+// place; one that does not parse — e.g. truncated by a crash of a writer
+// without atomic saves — is an error, and OpenSalvage recovers the readable
+// prefix instead. (A torn tail on the store's own active segment is not
+// damage: it is the unacknowledged in-flight record of a crashed writer,
+// and is truncated silently.)
 func Open(path string) (*DB, error) {
-	if path == "" {
-		return nil, fmt.Errorf("virusdb: empty path")
-	}
-	db := &DB{path: path}
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return db, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("virusdb: %w", err)
-	}
-	if len(data) > 0 {
-		if err := json.Unmarshal(data, &db.records); err != nil {
-			return nil, fmt.Errorf("virusdb: corrupt database %s: %w", path, err)
-		}
-	}
-	return db, nil
+	db, _, err := open(path, false)
+	return db, err
 }
 
-// OpenSalvage is Open for a possibly damaged database: when the file does
-// not parse as a whole, it keeps every complete record from the front of
-// the array and drops the rest, returning the salvaged database and how
-// many records were dropped (0 for an intact file). The file itself is
-// rewritten only on the next Append.
+// OpenSalvage is Open for a possibly damaged database: it keeps every intact
+// record up to the damage and drops the rest, returning the salvaged
+// database and how many records were dropped (0 for an intact one).
 func OpenSalvage(path string) (*DB, int, error) {
-	db, err := Open(path)
-	if err == nil {
-		return db, 0, nil
+	return open(path, true)
+}
+
+func open(path string, salvage bool) (*DB, int, error) {
+	if path == "" {
+		return nil, 0, fmt.Errorf("virusdb: empty path")
 	}
-	data, rerr := os.ReadFile(path)
-	if rerr != nil {
-		return nil, 0, fmt.Errorf("virusdb: %w", rerr)
+	legacyDropped := 0
+	convert := func(data []byte) ([][]byte, error) {
+		recs, dropped, err := parseLegacy(path, data, salvage)
+		if err != nil {
+			return nil, err
+		}
+		legacyDropped = dropped
+		payloads := make([][]byte, 0, len(recs))
+		for _, r := range recs {
+			p, err := json.Marshal(r)
+			if err != nil {
+				return nil, fmt.Errorf("virusdb: %w", err)
+			}
+			payloads = append(payloads, p)
+		}
+		return payloads, nil
+	}
+	if err := seglog.Migrate(path, storeOptions, convert); err != nil {
+		return nil, 0, err
+	}
+	opts := storeOptions
+	opts.Salvage = salvage
+	st, res, err := seglog.Open(path, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("virusdb: %w", err)
+	}
+	db := &DB{path: path, log: st, records: make([]Record, 0, len(res.Payloads))}
+	dropped := legacyDropped + res.Stats.DroppedFrames
+	for _, p := range res.Payloads {
+		var r Record
+		if err := json.Unmarshal(p, &r); err != nil {
+			if !salvage {
+				st.Close()
+				return nil, 0, fmt.Errorf("virusdb: corrupt record in %s: %w", path, err)
+			}
+			dropped++
+			continue
+		}
+		db.records = append(db.records, r)
+	}
+	return db, dropped, nil
+}
+
+// parseLegacy decodes a legacy JSON-array database. In salvage mode it keeps
+// the valid prefix and reports how many visible records were lost; in strict
+// mode any damage is an error.
+func parseLegacy(path string, data []byte, salvage bool) ([]Record, int, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, 0, nil
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err == nil {
+		return recs, 0, nil
+	} else if !salvage {
+		return nil, 0, fmt.Errorf("virusdb: corrupt database %s: %w", path, err)
 	}
 	recs, ok := salvageRecords(data)
 	if !ok {
-		return nil, 0, err // not even an array prefix; keep Open's error
+		return nil, 0, fmt.Errorf("virusdb: corrupt database %s: not a JSON array", path)
 	}
-	total := bytes.Count(data, []byte(`"experiment"`))
-	dropped := total - len(recs)
+	dropped := countLegacyRecords(data) - len(recs)
 	if dropped < 0 {
 		dropped = 0
 	}
-	return &DB{path: path, records: recs}, dropped, nil
+	return recs, dropped, nil
 }
 
 // salvageRecords decodes complete records from the front of a (possibly
@@ -139,6 +196,32 @@ func salvageRecords(data []byte) ([]Record, bool) {
 	return out, true
 }
 
+// countLegacyRecords counts the records visible in a (possibly truncated)
+// legacy array by tokenizing it: every element that decodes is one record,
+// plus one for a partial element chopped by the truncation. Substring
+// counting (the old estimate) over-counted whenever an experiment *name* was
+// itself the string "experiment", because its serialized value then
+// contained the `"experiment"` key bytes a second time.
+func countLegacyRecords(data []byte) int {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil || tok != json.Delim('[') {
+		return 0
+	}
+	n := 0
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return n + 1 // a partial trailing record is visible in the bytes
+		}
+		n++
+	}
+	return n
+}
+
+// Path returns the database location.
+func (db *DB) Path() string { return db.path }
+
 // Len returns the number of stored records.
 func (db *DB) Len() int {
 	db.mu.Lock()
@@ -146,59 +229,62 @@ func (db *DB) Len() int {
 	return len(db.records)
 }
 
-// Append stores a record and persists the database.
+// Append stores records durably: each is framed, CRC'd and appended to the
+// store's active segment, with one fsync covering the whole call — O(1) in
+// the size of the database.
 func (db *DB) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, 0, len(recs))
 	for _, r := range recs {
 		if err := r.Validate(); err != nil {
 			return err
 		}
+		p, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("virusdb: %w", err)
+		}
+		payloads = append(payloads, p)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Disk first, then memory: a failed append must not leave records that
+	// exist only until the process dies.
+	if err := db.log.Append(payloads...); err != nil {
+		return fmt.Errorf("virusdb: %w", err)
+	}
 	db.records = append(db.records, recs...)
-	if err := db.save(); err != nil {
-		// Keep memory and disk consistent: a failed save must not leave
-		// records that exist only until the process dies.
-		db.records = db.records[:len(db.records)-len(recs)]
-		return err
+	return nil
+}
+
+// Compact rewrites the store into a single fresh segment — reclaiming the
+// space of salvage-dropped frames and collapsing accumulated segments — with
+// an atomic manifest swap, so a crash leaves either the old store or the new
+// one, never a mix.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	payloads := make([][]byte, 0, len(db.records))
+	for _, r := range db.records {
+		p, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("virusdb: %w", err)
+		}
+		payloads = append(payloads, p)
+	}
+	if err := db.log.Compact(payloads); err != nil {
+		return fmt.Errorf("virusdb: %w", err)
 	}
 	return nil
 }
 
-// save writes atomically (temp file + fsync + rename); callers hold db.mu.
-func (db *DB) save() error {
-	data, err := json.MarshalIndent(db.records, "", " ")
-	if err != nil {
-		return fmt.Errorf("virusdb: %w", err)
-	}
-	dir := filepath.Dir(db.path)
-	tmp, err := os.CreateTemp(dir, ".virusdb-*")
-	if err != nil {
-		return fmt.Errorf("virusdb: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("virusdb: %w", err)
-	}
-	// Flush to stable storage before the rename publishes the file: a
-	// rename can survive a crash that the data blocks did not, leaving an
-	// empty or partial database under the final name.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("virusdb: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("virusdb: %w", err)
-	}
-	if err := os.Rename(tmpName, db.path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("virusdb: %w", err)
-	}
-	return nil
+// Close syncs and releases the underlying store handle. The DB must not be
+// used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.log.Close()
 }
 
 // Records returns the stored records for one experiment, strongest first.

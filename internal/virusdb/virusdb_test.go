@@ -1,9 +1,12 @@
 package virusdb
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -21,6 +24,20 @@ func tempDB(t *testing.T) *DB {
 func rec(exp string, fitness float64) Record {
 	return Record{Experiment: exp, Bits: "1100", Fitness: fitness,
 		MeanCE: fitness, TempC: 55, TREFP: 2.283, VDD: 1.428}
+}
+
+// writeLegacy writes records in the pre-seglog single-file format: one
+// indented JSON array, exactly what the old save() produced.
+func writeLegacy(t *testing.T, path string, recs []Record) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 func TestOpenMissingFile(t *testing.T) {
@@ -45,6 +62,7 @@ func TestAppendAndReload(t *testing.T) {
 	if err := db.Append(rec("e1", 10), rec("e1", 30), rec("e2", 5)); err != nil {
 		t.Fatal(err)
 	}
+	db.Close()
 	re, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +83,9 @@ func TestRecordValidation(t *testing.T) {
 		{Experiment: "e"},
 		{Experiment: "e", Bits: "10", Ints: []int{1}},
 		{Experiment: "e", Bits: "10x"},
+		// Regression: a non-nil but empty Ints slice is not a chromosome —
+		// such a record can never seed a resumed search.
+		{Experiment: "e", Ints: []int{}},
 	}
 	for i, r := range bad {
 		if err := db.Append(r); err == nil {
@@ -130,26 +151,23 @@ func TestCorruptFileRejected(t *testing.T) {
 	if _, err := Open(path); err == nil {
 		t.Fatal("corrupt database accepted")
 	}
+	// The rejected legacy file is left exactly where it was.
+	if fi, err := os.Stat(path); err != nil || fi.IsDir() {
+		t.Fatal("rejected legacy file was disturbed")
+	}
 }
 
-// writeTruncated writes a database with n records and chops the file after
-// frac of its bytes, simulating a crash mid-write of a non-atomic writer.
-func writeTruncated(t *testing.T, n int, frac float64) string {
+// writeTruncatedLegacy writes a legacy-format database with n records and
+// chops the file after frac of its bytes, simulating a crash mid-write of a
+// non-atomic writer. exp names the experiments (cycled over two suffixes).
+func writeTruncatedLegacy(t *testing.T, n int, frac float64, exp func(i int) string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "trunc.json")
-	db, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	recs := make([]Record, 0, n)
 	for i := 0; i < n; i++ {
-		if err := db.Append(rec(fmt.Sprintf("e%d", i%2), float64(i))); err != nil {
-			t.Fatal(err)
-		}
+		recs = append(recs, rec(exp(i), float64(i)))
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := writeLegacy(t, path, recs)
 	cut := int(float64(len(data)) * frac)
 	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 		t.Fatal(err)
@@ -157,9 +175,10 @@ func writeTruncated(t *testing.T, n int, frac float64) string {
 	return path
 }
 
-func TestOpenSalvageTruncated(t *testing.T) {
+func TestOpenSalvageTruncatedLegacy(t *testing.T) {
 	for _, frac := range []float64{0.3, 0.6, 0.9} {
-		path := writeTruncated(t, 8, frac)
+		path := writeTruncatedLegacy(t, 8, frac,
+			func(i int) string { return fmt.Sprintf("e%d", i%2) })
 		if _, err := Open(path); err == nil {
 			t.Fatalf("frac %.1f: Open accepted a truncated file", frac)
 		}
@@ -188,6 +207,7 @@ func TestOpenSalvageTruncated(t *testing.T) {
 		if err := db.Append(rec("after", 99)); err != nil {
 			t.Fatalf("frac %.1f: append after salvage: %v", frac, err)
 		}
+		db.Close()
 		re, err := Open(path)
 		if err != nil {
 			t.Fatalf("frac %.1f: reload after salvage: %v", frac, err)
@@ -195,6 +215,26 @@ func TestOpenSalvageTruncated(t *testing.T) {
 		if best, ok := re.Best("after"); !ok || best.Fitness != 99 {
 			t.Fatalf("frac %.1f: repaired file lost the new record", frac)
 		}
+	}
+}
+
+// TestSalvageCountSelfNamedExperiment pins the dropped-count fix: an
+// experiment literally named "experiment" serializes its value as the same
+// bytes as the key, which the old substring estimate counted as a second
+// record. Tokenizing counts each array element once.
+func TestSalvageCountSelfNamedExperiment(t *testing.T) {
+	path := writeTruncatedLegacy(t, 4, 0.6,
+		func(i int) string { return "experiment" })
+	db, dropped, err := OpenSalvage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 || db.Len() >= 4 {
+		t.Fatalf("salvaged %d of 4", db.Len())
+	}
+	if dropped < 1 || db.Len()+dropped > 4 {
+		t.Fatalf("salvaged %d, dropped %d: count inflated by the "+
+			"experiment name", db.Len(), dropped)
 	}
 }
 
@@ -207,6 +247,7 @@ func TestOpenSalvageIntact(t *testing.T) {
 	if err := db.Append(rec("e", 1), rec("e", 2)); err != nil {
 		t.Fatal(err)
 	}
+	db.Close()
 	re, dropped, err := OpenSalvage(path)
 	if err != nil || dropped != 0 || re.Len() != 2 {
 		t.Fatalf("intact salvage: len=%d dropped=%d err=%v",
@@ -221,6 +262,90 @@ func TestOpenSalvageHopeless(t *testing.T) {
 	}
 	if _, _, err := OpenSalvage(path); err == nil {
 		t.Fatal("salvage invented records from junk")
+	}
+}
+
+// TestMigrationLosslessIdempotent: opening a legacy JSON-array database
+// converts it to the segmented store with every record intact, keeps the
+// original bytes at <path>.legacy, and re-opening converges (no re-migration,
+// no duplication).
+func TestMigrationLosslessIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "viruses.json")
+	recs := []Record{rec("a", 1), rec("b", 2), rec("a", 3)}
+	original := writeLegacy(t, path, recs)
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("migrated %d of 3 records", db.Len())
+	}
+	if got := db.Records("a"); len(got) != 2 || got[0].Fitness != 3 {
+		t.Fatalf("migrated records wrong: %+v", got)
+	}
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		t.Fatal("path is not a store directory after migration")
+	}
+	bak, err := os.ReadFile(path + ".legacy")
+	if err != nil || !bytes.Equal(bak, original) {
+		t.Fatalf("legacy bytes not preserved: err=%v", err)
+	}
+	if err := db.Append(rec("c", 9)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	for i := 0; i < 2; i++ { // idempotent across repeated opens
+		re, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Len() != 4 {
+			t.Fatalf("reopen %d: %d records, want 4", i, re.Len())
+		}
+		re.Close()
+	}
+}
+
+func TestMigrationEmptyLegacyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 0 {
+		t.Fatalf("empty legacy file produced %d records", db.Len())
+	}
+}
+
+func TestCompactReclaims(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Append(rec("e", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(rec("e", 99)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 51 {
+		t.Fatalf("compacted database reloaded %d of 51", re.Len())
 	}
 }
 
@@ -249,6 +374,7 @@ func TestConcurrentAppend(t *testing.T) {
 	if db.Len() != writers*each {
 		t.Fatalf("stored %d of %d records", db.Len(), writers*each)
 	}
+	db.Close()
 	re, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +387,7 @@ func TestConcurrentAppend(t *testing.T) {
 	}
 }
 
-func TestAtomicSaveLeavesNoTempFiles(t *testing.T) {
+func TestStoreLeavesNoStrayFiles(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "db.json")
 	db, err := Open(path)
@@ -271,11 +397,22 @@ func TestAtomicSaveLeavesNoTempFiles(t *testing.T) {
 	if err := db.Append(rec("e", 1)); err != nil {
 		t.Fatal(err)
 	}
+	// The parent holds exactly the store directory; the store holds exactly
+	// the manifest and its segments.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		t.Fatalf("directory has %d entries", len(entries))
+	if len(entries) != 1 || !entries[0].IsDir() {
+		t.Fatalf("parent directory has %d entries", len(entries))
+	}
+	inner, err := os.ReadDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range inner {
+		if e.Name() != "MANIFEST" && !strings.HasPrefix(e.Name(), "seg-") {
+			t.Fatalf("stray file %s in store", e.Name())
+		}
 	}
 }
