@@ -8,6 +8,10 @@
 //	virusdb -db viruses.json -experiment data64/max-ce/55C [-top 10]
 //	virusdb -db viruses.json -compact             # offline store compaction
 //
+// With -compact, a database the strict open refuses as damaged is opened in
+// salvage mode instead (the readable records are kept, the loss is reported
+// on stderr) so the compaction can reclaim the dropped space.
+//
 // A database in the pre-seglog single-file format is migrated to the
 // segmented store on open (the original bytes are kept at <path>.legacy).
 package main
@@ -30,7 +34,19 @@ func main() {
 
 	db, err := virusdb.Open(*dbPath)
 	if err != nil {
-		fatal(err)
+		// -compact is the recovery tool for damaged stores, so a strict-open
+		// failure must not stop it: salvage what is readable and report the
+		// loss, then let the compaction below reclaim the dropped space.
+		if !*compact {
+			fatal(err)
+		}
+		var dropped int
+		db, dropped, err = virusdb.OpenSalvage(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "virusdb: %s: damaged store salvaged, %d records dropped\n",
+			*dbPath, dropped)
 	}
 	if *compact {
 		if err := db.Compact(); err != nil {

@@ -57,7 +57,11 @@ func Migrate(path string, opts Options, convert func(data []byte) ([][]byte, err
 			src = bak // step 2 done but the built store is unusable: rebuild
 			break
 		}
-		return nil // nothing to migrate; caller opens a fresh store
+		// Nothing to migrate; the caller opens a fresh store at path. An
+		// incomplete .migrate build with no source left to rebuild it from
+		// is unrecoverable debris — without this, nothing ever deletes it.
+		os.RemoveAll(tmp)
+		return nil
 	default:
 		return fmt.Errorf("seglog: migrate: %w", err)
 	}

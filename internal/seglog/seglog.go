@@ -32,7 +32,8 @@
 // segment, which rotation fully syncs before retiring — is real corruption:
 // Open fails loudly unless Salvage is set, in which case replay stops at the
 // damage (trusting frames beyond it could resurrect state the writer never
-// acknowledged) and the dropped remainder is counted.
+// acknowledged), the dropped remainder is counted, and the surviving records
+// are compacted into a fresh segment so the store is clean again.
 package seglog
 
 import (
@@ -41,7 +42,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -103,7 +103,10 @@ type Options struct {
 
 	// Salvage tolerates corruption before the final segment's tail: replay
 	// stops at the damage and Stats.DroppedFrames counts what was lost,
-	// instead of Open failing with ErrCorrupt. A torn tail on the final
+	// instead of Open failing with ErrCorrupt. When that happens the store
+	// is rebuilt before Open returns — the salvaged payloads are compacted
+	// into one fresh segment and the damaged segments deleted — so appends
+	// never land in a segment replay would skip. A torn tail on the final
 	// segment is truncated in both modes — it is the expected artifact of a
 	// crash, not damage.
 	Salvage bool
@@ -137,6 +140,10 @@ type Store struct {
 	pending    int // frames written since the last fsync
 	appended   int // frames appended over this handle's lifetime
 	closed     bool
+	// poisoned is set when a failed write left bytes in the active segment
+	// that could not be cut back off; further appends would land beyond the
+	// junk and be silently discarded by replay, so they are refused instead.
+	poisoned bool
 }
 
 // OpenResult carries the replayable payloads and open-time stats. Payloads
@@ -175,15 +182,30 @@ func Open(dir string, opts Options) (*Store, *OpenResult, error) {
 		return nil, nil, err
 	}
 	st.removeDebris()
-	if err := st.replay(res); err != nil {
+	stopped, err := st.replay(res)
+	if err != nil {
 		return nil, nil, err
+	}
+	if stopped {
+		// Salvage stopped replay inside a damaged segment. Every surviving
+		// segment either holds the damage or sits beyond it where replay
+		// will never look again, so appending into any of them would write
+		// records that vanish on the next open. Rewrite the salvaged
+		// payloads into one fresh segment — the atomic manifest swap retires
+		// the damage and leaves the writer positioned in a clean segment.
+		if err := st.compactLocked(res.Payloads); err != nil {
+			return nil, nil, err
+		}
+		res.Stats.Segments = len(st.segs)
+		return st, res, nil
 	}
 	res.Stats.Segments = len(st.segs)
 	// Position the writer at the end of the valid data in the active
 	// segment, physically truncating any torn tail so new frames append
-	// after the last acknowledged one.
+	// after the last acknowledged one. O_APPEND keeps every write at the
+	// (possibly truncated) end of file without offset bookkeeping.
 	activePath := filepath.Join(dir, st.segs[len(st.segs)-1])
-	f, err := os.OpenFile(activePath, os.O_RDWR, 0o644)
+	f, err := os.OpenFile(activePath, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("seglog: %w", err)
 	}
@@ -196,10 +218,6 @@ func Open(dir string, opts Options) (*Store, *OpenResult, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("seglog: %w", err)
 		}
-	}
-	if _, err := f.Seek(st.activeSize, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("seglog: %w", err)
 	}
 	st.active = f
 	return st, res, nil
@@ -283,14 +301,16 @@ func (s *Store) removeDebris() {
 
 // replay parses every live segment in manifest order, filling res with the
 // payloads and stats and leaving s.activeSize at the end of the valid data
-// in the final segment.
-func (s *Store) replay(res *OpenResult) error {
+// in the final segment. The stopped result is true when salvage halted at
+// mid-store damage: the segments from the damaged one onward were not fully
+// replayed, so the caller must not append into any of them — see Open.
+func (s *Store) replay(res *OpenResult) (stopped bool, err error) {
 	for i, name := range s.segs {
 		final := i == len(s.segs)-1
 		path := filepath.Join(s.dir, name)
 		payloads, validEnd, rest, err := parseSegment(path)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if final {
 			s.activeSize = validEnd
@@ -303,7 +323,7 @@ func (s *Store) replay(res *OpenResult) error {
 			// Rotation syncs a segment in full before retiring it, so a bad
 			// frame here is damage to acknowledged data, not a torn tail.
 			if !s.opts.Salvage {
-				return fmt.Errorf("%w: %s: bad frame at offset %d",
+				return false, fmt.Errorf("%w: %s: bad frame at offset %d",
 					ErrCorrupt, path, validEnd)
 			}
 			res.Payloads = append(res.Payloads, payloads...)
@@ -316,12 +336,12 @@ func (s *Store) replay(res *OpenResult) error {
 					res.Stats.DroppedFrames += len(lp)
 				}
 			}
-			return nil
+			return true, nil
 		}
 		res.Payloads = append(res.Payloads, payloads...)
 		res.Stats.Frames += len(payloads)
 	}
-	return nil
+	return false, nil
 }
 
 // parseSegment reads one segment, returning its intact payloads, the offset
@@ -390,6 +410,9 @@ func (s *Store) Append(payloads ...[]byte) error {
 	if s.closed {
 		return errors.New("seglog: store closed")
 	}
+	if s.poisoned {
+		return errors.New("seglog: active segment poisoned by an earlier failed write; reopen to recover")
+	}
 	var buf []byte
 	for _, p := range payloads {
 		if len(p) == 0 || len(p) > maxFrame {
@@ -402,6 +425,15 @@ func (s *Store) Append(payloads ...[]byte) error {
 		buf = append(buf, p...)
 	}
 	if _, err := s.active.Write(buf); err != nil {
+		// A partial write leaves junk after the last intact frame; if a
+		// later append then succeeded, replay would stop at the junk and
+		// silently discard the acknowledged frames beyond it as a torn
+		// tail. Cut the file back to the frame boundary (writes append at
+		// end-of-file, so the next attempt lands cleanly); if even that
+		// fails, refuse further appends on this handle.
+		if terr := s.active.Truncate(s.activeSize); terr != nil {
+			s.poisoned = true
+		}
 		return fmt.Errorf("seglog: %w", err)
 	}
 	s.activeSize += int64(len(buf))
@@ -478,6 +510,13 @@ func (s *Store) Compact(payloads [][]byte) error {
 	if err := s.syncLocked(); err != nil {
 		return err
 	}
+	return s.compactLocked(payloads)
+}
+
+// compactLocked does the compaction work with s.mu held (or, during Open,
+// before the store is published). It tolerates a nil active handle — Open
+// uses it to rebuild a salvaged store before any writer exists.
+func (s *Store) compactLocked(payloads [][]byte) error {
 	name, err := s.createSegment()
 	if err != nil {
 		return err
@@ -520,10 +559,13 @@ func (s *Store) Compact(payloads [][]byte) error {
 		s.segs = old
 		return err
 	}
-	s.active.Close()
+	if s.active != nil {
+		s.active.Close()
+	}
 	s.active = f
 	s.activeSize = size
 	s.pending = 0
+	s.poisoned = false
 	for _, n := range old {
 		os.Remove(filepath.Join(s.dir, n))
 	}

@@ -161,6 +161,61 @@ func TestMidStoreCorruption(t *testing.T) {
 	}
 }
 
+// TestSalvageRebuildsStoreForAppends is the regression test for appends made
+// through a salvage-opened handle: before the fix, salvage stopped replay at
+// mid-store damage without positioning the writer, so the first append
+// overwrote the active segment's header and every record appended after a
+// salvage open vanished on the next open.
+func TestSalvageRebuildsStoreForAppends(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, _ := openT(t, dir, Options{RotateBytes: 256})
+	appendN(t, st, 0, 40)
+	st.Close()
+	segs, _, err := readManifest(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the first (non-final) segment.
+	first := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, res, err := Open(dir, Options{RotateBytes: 256, Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	salvaged := len(res.Payloads)
+	if salvaged == 0 || salvaged >= 40 {
+		t.Fatalf("salvaged %d of 40", salvaged)
+	}
+	// The damaged segments were compacted away on open.
+	if res.Stats.Segments != 1 {
+		t.Fatalf("%d segments after salvage open, want 1", res.Stats.Segments)
+	}
+	// Records appended through the salvaged handle are durable.
+	appendN(t, st2, salvaged, 2)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Strict reopen must succeed — the damage is gone — and replay both the
+	// salvaged prefix and the post-salvage appends.
+	st3, res, err := Open(dir, Options{RotateBytes: 256})
+	if err != nil {
+		t.Fatalf("strict reopen after salvage: %v", err)
+	}
+	defer st3.Close()
+	wantPayloads(t, res, salvaged+2)
+	if res.Stats.DroppedFrames != 0 || res.Stats.TornBytes != 0 {
+		t.Fatalf("reopen after salvage rebuild: %+v", res.Stats)
+	}
+}
+
 func TestCompact(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	st, _ := openT(t, dir, Options{RotateBytes: 256})
@@ -366,5 +421,20 @@ func TestMigrateCrashWindows(t *testing.T) {
 		os.Rename(path, path+legacySuffix)
 		os.MkdirAll(path+migrateSuffix, 0o755) // no manifest: incomplete
 		verify(t, path)
+	})
+	t.Run("orphan-incomplete-build", func(t *testing.T) {
+		// Neither path nor backup exists, only an incomplete .migrate dir:
+		// there is nothing to migrate, and the debris — which no later open
+		// would ever touch — must be cleaned up rather than left forever.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "db.json")
+		tmp := path + migrateSuffix
+		os.MkdirAll(tmp, 0o755) // no manifest: incomplete
+		if err := Migrate(path, Options{}, convert); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Fatal(".migrate debris survived a no-op migration")
+		}
 	})
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"dstress/internal/seglog"
 )
 
 func tempDB(t *testing.T) *DB {
@@ -252,6 +254,83 @@ func TestOpenSalvageIntact(t *testing.T) {
 	if err != nil || dropped != 0 || re.Len() != 2 {
 		t.Fatalf("intact salvage: len=%d dropped=%d err=%v",
 			re.Len(), dropped, err)
+	}
+}
+
+// TestSalvageStoreThenAppendDurable mirrors dstressd's fallback path: a
+// damaged store is opened with OpenSalvage and then appended to for the
+// daemon's whole lifetime. Every record appended after the salvage must
+// survive the next open — the salvage rebuilds the store rather than leaving
+// the writer pointed into a segment replay would skip.
+func TestSalvageStoreThenAppendDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	st, _, err := seglog.Open(path, seglog.Options{SyncEvery: 1, RotateBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		p, err := json.Marshal(rec("e", float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	// Flip a payload byte in the first (non-final) segment; ReadDir returns
+	// names sorted, which for seg-NNNNNNNNN.log is segment order.
+	var segNames []string
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			segNames = append(segNames, e.Name())
+		}
+	}
+	if len(segNames) < 2 {
+		t.Fatalf("need >=2 segments, got %d", len(segNames))
+	}
+	first := filepath.Join(path, segNames[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path); err == nil {
+		t.Fatal("strict open accepted a damaged store")
+	}
+	db, dropped, err := OpenSalvage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 || db.Len() == 0 || db.Len() >= 40 {
+		t.Fatalf("salvaged %d of 40, dropped %d", db.Len(), dropped)
+	}
+	salvaged := db.Len()
+	if err := db.Append(rec("after", 1)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// The salvage compacted the damage away, so a strict open succeeds and
+	// must hold both the salvaged prefix and the post-salvage append.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("strict reopen after salvage: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != salvaged+1 {
+		t.Fatalf("reopened %d records, want %d", re.Len(), salvaged+1)
+	}
+	if len(re.Records("after")) != 1 {
+		t.Fatal("record appended after salvage was lost on reopen")
 	}
 }
 
