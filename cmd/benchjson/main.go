@@ -19,6 +19,10 @@
 // append latency and bytes written per append for the virus database at 10k
 // and 100k preloaded records, legacy whole-file-rewrite layout vs the
 // seglog store, recorded as a "store" section plus store_* derived ratios.
+// With -batch it runs the population-batched evaluation comparison (see
+// batch.go): per-genome v2 evaluation vs AverageRunsBatch at populations
+// 32/128/512, recorded as a "batch" section plus speedup_batch_pop* and
+// batch_{allocs,bytes}_ratio_pop* derived keys.
 // -merge grafts these sections into an existing BENCH_*.json instead of
 // parsing stdin, leaving its benchmark records untouched.
 //
@@ -27,6 +31,7 @@
 //	go test -run '^$' -bench . ./... | benchjson [-out file] [-indent]
 //	benchjson -campaign [-campaign-seed n] -merge BENCH_2026.json
 //	benchjson -store -merge BENCH_2026.json
+//	benchjson -batch [-batch-runs n] -merge BENCH_2026.json
 package main
 
 import (
@@ -65,6 +70,9 @@ type Snapshot struct {
 	// Store is the virusdb persistence comparison (-store): legacy
 	// whole-file rewrites vs seglog appends at growing database sizes.
 	Store *StoreBench `json:"store,omitempty"`
+	// Batch is the population-batched vs per-genome evaluation comparison
+	// (-batch) at growing population sizes.
+	Batch *BatchBench `json:"batch,omitempty"`
 }
 
 func main() {
@@ -78,6 +86,10 @@ func main() {
 		"run the virusdb persistence benchmark and record its latencies")
 	storeAppends := flag.Int("store-appends", 256,
 		"timed appends per store benchmark point")
+	batch := flag.Bool("batch", false,
+		"run the batched-vs-per-genome evaluation benchmark and record its ratios")
+	batchRuns := flag.Int("batch-runs", 10,
+		"evaluation runs averaged per genome in the batch benchmark")
 	merge := flag.String("merge", "",
 		"graft the extra sections into this existing snapshot instead of reading stdin")
 	flag.Parse()
@@ -98,7 +110,7 @@ func main() {
 	}
 	// An empty benchmark set is only an error when benchmarks are the point;
 	// a campaign or store run carries its own payload.
-	if len(snap.Benchmarks) == 0 && !*campaign && !*store {
+	if len(snap.Benchmarks) == 0 && !*campaign && !*store && !*batch {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
@@ -118,6 +130,15 @@ func main() {
 			os.Exit(1)
 		}
 		snap.Store = sb
+		mergeDerived(snap, derived)
+	}
+	if *batch {
+		bb, derived, err := runBatchBench([]int{32, 128, 512}, *batchRuns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Batch = bb
 		mergeDerived(snap, derived)
 	}
 

@@ -200,6 +200,7 @@ func fleetVariant(t *testing.T, req jobRequest, n int, killOne bool) jobResult {
 			defer c()
 		}
 		w := fleet.NewWorker(ts.URL, fmt.Sprintf("w%d", i), buildFleetEvaluator,
+			fleet.WithBatchBuild(buildFleetEvaluators), // as runWorker wires it
 			fleet.WithLeaseWait(200*time.Millisecond),
 			fleet.WithBackoff(5*time.Millisecond, 50*time.Millisecond, 2))
 		wg.Add(1)
@@ -282,6 +283,27 @@ func TestFleetEndToEndBitIdentical(t *testing.T) {
 	if got := fleetVariant(t, slow, 2, true); got != slowRef {
 		t.Fatalf("kill-mid-job run diverged from local:\n got %+v\nwant %+v",
 			got, slowRef)
+	}
+}
+
+// TestBatchDetV2FleetBitIdentical: the fleet leg of the batch differential
+// matrix. Under determinism v2 every fleet worker evaluates its shards
+// through the chunked batch engine (buildFleetEvaluators), so the same v2
+// search at 0, 1 and 2 fleet nodes — local fallback included — must produce
+// the result of the purely local per-genome run. The kill-mid-job leg rides
+// in TestFleetEndToEndBitIdentical; this pins the batched evaluation.
+func TestBatchDetV2FleetBitIdentical(t *testing.T) {
+	req := jobRequest{
+		Template: "data64", Criterion: "max-ce", TempC: 55,
+		Generations: 3, Population: 8, Workers: 2, Seed: 1234, Rows: 4, Runs: 2,
+		Determinism: "v2",
+	}
+	ref := fleetVariant(t, req, 0, false)
+	for _, n := range []int{1, 2} {
+		if got := fleetVariant(t, req, n, false); got != ref {
+			t.Fatalf("%d fleet workers (v2 batched) diverged from local:\n got %+v\nwant %+v",
+				n, got, ref)
+		}
 	}
 }
 

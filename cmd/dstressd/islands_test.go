@@ -155,6 +155,7 @@ func TestIslandsMetricsAliasConsistent(t *testing.T) {
 		{"scheduler", true},
 		{"islands", true},
 		{"fleet", true},
+		{"eval", true},
 	}
 	for _, tc := range cases {
 		a, okA := v1[tc.section]
@@ -171,5 +172,14 @@ func TestIslandsMetricsAliasConsistent(t *testing.T) {
 	isl, ok := v1["islands"].(map[string]any)
 	if !ok || isl["searches"].(float64) < 1 || isl["migrations"].(float64) < 1 {
 		t.Fatalf("islands section not populated: %+v", v1["islands"])
+	}
+	// The v2 job above ran through the batch engine, so the eval section must
+	// show batched work and a warm scratch pool.
+	ev, ok := v1["eval"].(map[string]any)
+	if !ok || ev["batch_items"].(float64) < 1 || ev["batch_calls"].(float64) < 1 {
+		t.Fatalf("eval section not populated: %+v", v1["eval"])
+	}
+	if ev["pool_hit_rate"].(float64) <= 0 {
+		t.Fatalf("eval pool never warmed: %+v", v1["eval"])
 	}
 }

@@ -34,7 +34,7 @@
 //	POST /api/v1/jobs/{id}/cancel
 //	GET  /api/v1/virusdb         experiments; with ?experiment=... the
 //	                             records, paged by limit/offset/min_fitness
-//	GET  /api/v1/metrics         farm/cache/scheduler/fleet counters as JSON
+//	GET  /api/v1/metrics         farm/cache/scheduler/fleet/eval counters
 //	GET  /debug/vars             the same, expvar-style
 //	POST /api/v1/fleet/{join,heartbeat,lease,report}  fleet worker protocol
 //
@@ -612,6 +612,10 @@ type metricsView struct {
 	} `json:"scheduler"`
 	Islands islands.MetricsSnapshot `json:"islands"`
 	Fleet   fleet.Status            `json:"fleet"`
+	// Eval exposes the population-batched evaluation engine's process-wide
+	// counters: batched vs per-genome kernel runs, plan compiles vs splices,
+	// and the scratch-pool hit rate.
+	Eval dram.EvalStats `json:"eval"`
 }
 
 func (d *daemon) metricsView() metricsView {
@@ -623,6 +627,7 @@ func (d *daemon) metricsView() metricsView {
 	mv.Sched.Jobs = d.sched.Jobs()
 	mv.Islands = d.islandsMet.Snapshot()
 	mv.Fleet = d.fleet.Snapshot()
+	mv.Eval = dram.EvalSnapshot()
 	return mv
 }
 
@@ -738,39 +743,48 @@ func httpError(w http.ResponseWriter, status int, err error) {
 // server is built fresh from the same configuration a coordinator-side farm
 // clone rebuilds from, so both measure identically.
 func buildFleetEvaluator(evalCtx json.RawMessage) (farm.EvalFunc, error) {
+	single, _, err := buildFleetEvaluators(evalCtx)
+	return single, err
+}
+
+// buildFleetEvaluators is the fleet.BatchBuildFunc the worker runs under:
+// the per-task evaluator plus its chunked companion over one shared server,
+// so a shard whose context measures under determinism v2 evaluates in one
+// batched pass (bit-identical to the per-task loop; nil chunk under v1).
+func buildFleetEvaluators(evalCtx json.RawMessage) (farm.EvalFunc, farm.ChunkEvalFunc, error) {
 	var req jobRequest
 	if err := json.Unmarshal(evalCtx, &req); err != nil {
-		return nil, fmt.Errorf("bad evaluation context: %w", err)
+		return nil, nil, fmt.Errorf("bad evaluation context: %w", err)
 	}
 	fill := uint64(0x3333333333333333)
 	if req.Fill != "" {
 		v, err := strconv.ParseUint(req.Fill, 0, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad fill: %w", err)
+			return nil, nil, fmt.Errorf("bad fill: %w", err)
 		}
 		fill = v
 	}
 	spec, err := buildSpec(req.Template, fill)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	crit, err := buildCriterion(req.Criterion)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	det, err := parseDeterminism(req.Determinism)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	srv, err := server.New(server.DefaultConfig(req.Rows, req.Seed))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runs := req.Runs
 	if runs <= 0 {
 		runs = 10 // the framework default the coordinator runs under
 	}
-	return core.NewWorkerEvaluator(srv, spec, crit, core.Relaxed(req.TempC),
+	return core.NewWorkerEvaluators(srv, spec, crit, core.Relaxed(req.TempC),
 		server.MCU2, runs, det)
 }
 
@@ -784,6 +798,7 @@ func runWorker(coordinator, name string) {
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	w := fleet.NewWorker(coordinator, name, buildFleetEvaluator,
+		fleet.WithBatchBuild(buildFleetEvaluators),
 		fleet.WithLogf(log.Printf))
 	log.Printf("dstressd: worker %q serving coordinator %s", name, coordinator)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {

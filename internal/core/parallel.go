@@ -16,6 +16,11 @@ import (
 // across worker counts requires. (Today's specs consume none.)
 const workerPrepSeed = 0xD57E55
 
+// testPerTaskDispatch forces NewEvalPool to skip chunk wiring so the
+// differential suite can run a genuinely per-task search as the reference
+// for the batched one. Never set outside tests.
+var testPerTaskDispatch bool
+
 // condKey identifies the operating conditions a fitness value was measured
 // under, scoping memoized entries in a shared cache. Everything the
 // measurement depends on beyond the chromosome goes in: spec, criterion,
@@ -41,15 +46,36 @@ func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
 	if cfg.Spec == nil {
 		return nil, fmt.Errorf("core: nil spec")
 	}
+	// The chunk evaluator shares the per-genome evaluator's server clone:
+	// farm.NewPool builds all EvalFuncs before asking for chunk evaluators,
+	// so stashing them during the single-factory pass is safe. Under v1 the
+	// stash stays nil and the pool keeps per-task dispatch.
+	chunkEvals := make([]farm.ChunkEvalFunc, workers)
+	if testPerTaskDispatch {
+		chunkEvals = nil
+	}
 	factory := func(w int) (farm.EvalFunc, error) {
 		srv, err := f.Srv.Clone()
 		if err != nil {
 			return nil, err
 		}
-		return NewWorkerEvaluator(srv, cfg.Spec, cfg.Criterion, cfg.Point,
-			f.MCU, f.Runs, cfg.Determinism)
+		single, chunk, err := NewWorkerEvaluators(srv, cfg.Spec, cfg.Criterion,
+			cfg.Point, f.MCU, f.Runs, cfg.Determinism)
+		if err != nil {
+			return nil, err
+		}
+		if w < len(chunkEvals) {
+			chunkEvals[w] = chunk
+		}
+		return single, nil
 	}
 	var opts []farm.PoolOption
+	if chunkEvals != nil {
+		opts = append(opts, farm.WithChunkFactory(
+			func(w int) (farm.ChunkEvalFunc, error) {
+				return chunkEvals[w], nil
+			}))
+	}
 	if cfg.Cache != nil {
 		opts = append(opts, farm.WithCache(cfg.Cache, f.condKey(cfg)))
 	}
@@ -71,20 +97,34 @@ func (f *Framework) NewEvalPool(cfg SearchConfig, workers int,
 func NewWorkerEvaluator(srv *server.Server, spec Spec, crit Criterion,
 	point OperatingPoint, mcu, runs int,
 	det dram.DeterminismVersion) (farm.EvalFunc, error) {
+	single, _, err := NewWorkerEvaluators(srv, spec, crit, point, mcu, runs, det)
+	return single, err
+}
+
+// NewWorkerEvaluators is NewWorkerEvaluator plus the chunked companion: both
+// evaluators run on the same prepared server, so a worker holding a chunk of
+// the population deploys and measures it in one batched pass while staying
+// bit-identical to evaluating each (genome, rng) through the single path.
+// The chunk evaluator is nil under determinism v1, whose sequential-draw
+// contract the batch engine cannot honour — callers fall back to per-task
+// dispatch.
+func NewWorkerEvaluators(srv *server.Server, spec Spec, crit Criterion,
+	point OperatingPoint, mcu, runs int,
+	det dram.DeterminismVersion) (farm.EvalFunc, farm.ChunkEvalFunc, error) {
 	if spec == nil {
-		return nil, fmt.Errorf("core: nil spec")
+		return nil, nil, fmt.Errorf("core: nil spec")
 	}
 	wf := &Framework{Srv: srv, RNG: xrand.New(workerPrepSeed), MCU: mcu, Runs: runs}
 	if err := srv.SetDeterminism(det); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := wf.Apply(point); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := spec.Prepare(wf); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return func(g ga.Genome, rng *xrand.Rand) (float64, error) {
+	single := func(g ga.Genome, rng *xrand.Rand) (float64, error) {
 		if err := spec.Deploy(wf, g); err != nil {
 			return 0, err
 		}
@@ -95,5 +135,28 @@ func NewWorkerEvaluator(srv *server.Server, spec Spec, crit Criterion,
 		m := Measurement{MeanCE: res.MeanCE, MeanSDC: res.MeanSDC,
 			UEFrac: res.UEFrac}
 		return crit.Fitness(m), nil
-	}, nil
+	}
+	if det.Normalize() != dram.DeterminismV2 {
+		return single, nil, nil
+	}
+	chunk := func(tasks []farm.Assigned, out []float64) error {
+		deploys := make([]func() error, len(tasks))
+		rngs := make([]*xrand.Rand, len(tasks))
+		for i, t := range tasks {
+			g := t.G
+			deploys[i] = func() error { return spec.Deploy(wf, g) }
+			rngs[i] = t.RNG
+		}
+		res, err := wf.Srv.EvaluateBatch(wf.MCU, wf.Runs, deploys, rngs)
+		if err != nil {
+			return err
+		}
+		for i, t := range tasks {
+			m := Measurement{MeanCE: res[i].MeanCE, MeanSDC: res[i].MeanSDC,
+				UEFrac: res[i].UEFrac}
+			out[t.Idx] = crit.Fitness(m)
+		}
+		return nil
+	}
+	return single, chunk, nil
 }

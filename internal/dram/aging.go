@@ -22,7 +22,9 @@ func (d *Device) Age(factor float64) error {
 	for i := range d.clusters {
 		d.clusters[i].Tau0 *= clusterFactor
 	}
-	// Retention times feed the compiled evaluation plan.
+	// Retention times feed the compiled evaluation plan — and invalidate
+	// every row of a batch splice, not just written ones.
 	d.dirty()
+	d.noteAll()
 	return nil
 }

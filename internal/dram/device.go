@@ -98,11 +98,61 @@ type Device struct {
 	plan       *evalPlan
 	v2plan     *planV2 // SoA view for determinism v2, derived from plan
 	envScratch []float64
+
+	// Dirty-row tracking for the batch evaluation path (batch.go). While
+	// tracking is on, every row-image write records its key so the next
+	// batch item can splice only the touched row-spans of the previous
+	// item's plan. Whole-device mutations (Reset, Age) set trackAll, which
+	// forces a full recompile instead of a splice.
+	tracking  bool
+	trackAll  bool
+	trackRows map[RowKey]struct{}
 }
 
 // dirty invalidates the compiled evaluation plan. Every mutator of state
 // that Run reads must call it.
 func (d *Device) dirty() { d.gen++ }
+
+// noteWrite records a row-image write for batch splicing. Mutators that
+// change state beyond a single row's image (Reset, Age) call noteAll
+// instead.
+func (d *Device) noteWrite(k RowKey) {
+	if d.tracking && !d.trackAll {
+		d.trackRows[k] = struct{}{}
+	}
+}
+
+// noteAll marks the whole device dirty for batch splicing.
+func (d *Device) noteAll() {
+	if d.tracking {
+		d.trackAll = true
+	}
+}
+
+// beginTracking starts dirty-row tracking; endTracking stops it. Only the
+// batch path uses tracking, and a Device is not safe for concurrent use, so
+// nesting cannot occur.
+func (d *Device) beginTracking() {
+	d.tracking = true
+	d.trackAll = false
+	if d.trackRows == nil {
+		d.trackRows = make(map[RowKey]struct{})
+	} else {
+		clear(d.trackRows)
+	}
+}
+
+func (d *Device) endTracking() {
+	d.tracking = false
+	d.trackAll = false
+	clear(d.trackRows)
+}
+
+// resetTracking clears the recorded rows between batch items.
+func (d *Device) resetTracking() {
+	d.trackAll = false
+	clear(d.trackRows)
+}
 
 // ClusterBitPositions are the in-word data bits occupied by every defect
 // cluster. The paper's Fig 8d observation — bits 17, 18, 21 and 22 are '0'
@@ -318,6 +368,7 @@ func (d *Device) WriteWord(l addrmap.Loc, v uint64) {
 	}
 	img[l.Col] = v
 	d.dirty()
+	d.noteWrite(k)
 }
 
 // ReadWord returns the stored word and whether the row has been written.
@@ -341,6 +392,7 @@ func (d *Device) RowWritten(k RowKey) bool { _, ok := d.rows[k]; return ok }
 func (d *Device) Reset() {
 	d.rows = make(map[RowKey][]uint64)
 	d.dirty()
+	d.noteAll()
 }
 
 // WeakCells returns the defect map's weak cells (shared slice; read only).

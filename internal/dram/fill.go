@@ -18,6 +18,7 @@ func (d *Device) FillRow(k RowKey, word uint64) {
 		img[i] = word
 	}
 	d.dirty()
+	d.noteWrite(k)
 }
 
 // FillRowWords copies a row image (one uint64 per column). Short images
@@ -35,6 +36,7 @@ func (d *Device) FillRowWords(k RowKey, words []uint64) {
 		img[i] = words[i%len(words)]
 	}
 	d.dirty()
+	d.noteWrite(k)
 }
 
 // FillAll fills every row of the device using the word function.

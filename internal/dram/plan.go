@@ -60,11 +60,12 @@ type planCluster struct {
 }
 
 // planRow is one written row holding defects, with [lo, hi) ranges into the
-// plan's flat cell and cluster slices.
+// plan's flat cell, cluster and candidate-word slices.
 type planRow struct {
 	key            RowKey
 	cellLo, cellHi int32
 	clLo, clHi     int32
+	wordLo, wordHi int32
 }
 
 // planWord is a candidate word: a word column that holds at least one weak
@@ -84,6 +85,16 @@ type evalPlan struct {
 	clusters    []planCluster
 	words       []planWord
 	partialBand float64 // physics ClusterPartialBand clamped to >= 1
+
+	// bitsArena backs every planCluster.fullBits slice. Entries are written
+	// once at compile time and never grow afterwards, so slices handed out
+	// before an arena reallocation stay valid — they just alias the old
+	// backing array.
+	bitsArena []int
+
+	// colScratch is compile-time scratch for collecting a row's candidate
+	// word columns.
+	colScratch []int
 
 	// Per-run scratch, reused across runs: flips[i] collects the failing
 	// bits of words[i]; touched lists the word indices with flips.
@@ -140,112 +151,127 @@ func (d *Device) compilePlan() *evalPlan {
 	}
 	sortRowKeys(keys)
 
-	var cols []int
 	for _, key := range keys {
-		weakIdx := d.weakByRow[key]
-		clIdx := d.clustersByRow[key]
-		if len(weakIdx) == 0 && len(clIdx) == 0 {
-			continue
-		}
-		img := d.rows[key]
-
-		// Candidate words of this row, column-ascending so the error log
-		// comes out sorted by (rank, bank, row, word col).
-		cols = cols[:0]
-		for _, wi := range weakIdx {
-			cols = append(cols, d.weak[wi].WordCol)
-		}
-		for _, ci := range clIdx {
-			cols = append(cols, d.clusters[ci].WordCol)
-		}
-		sort.Ints(cols)
-		base := int32(len(pl.words))
-		prev := -1
-		for _, col := range cols {
-			if col == prev {
-				continue
-			}
-			prev = col
-			pl.words = append(pl.words, planWord{
-				key: key, col: col, original: img[col],
-				enc: ecc.Encode(img[col]),
-			})
-		}
-		candOf := func(col int) int32 {
-			for i := base; i < int32(len(pl.words)); i++ {
-				if pl.words[i].col == col {
-					return i
-				}
-			}
-			panic("dram: plan candidate word missing")
-		}
-
-		cellLo := int32(len(pl.cells))
-		for _, wi := range weakIdx {
-			w := &d.weak[wi]
-			cand := candOf(w.WordCol)
-			var stored bool
-			if w.Bit < 64 {
-				stored = img[w.WordCol]&(1<<uint(w.Bit)) != 0
-			} else {
-				stored = pl.words[cand].enc.Check&(1<<uint(w.Bit-64)) != 0
-			}
-			pos := d.physBit(key, w.WordCol, w.Bit)
-			charged := stored == (d.CellTypeAt(key, pos) == TrueCell)
-			lat, vert := d.neighbourCoupling(key, pos)
-			pl.cells = append(pl.cells, planCell{
-				cand:    cand,
-				bit:     int32(w.Bit),
-				src:     int32(wi),
-				charged: charged,
-				vrt:     w.VRT,
-				tau0:    w.Tau0,
-				vrtMult: w.VRTMult,
-				couplingDiv: 1 + phys.CouplingAlpha*float64(lat) +
-					phys.VCouplingDelta*float64(vert),
-			})
-		}
-
-		clLo := int32(len(pl.clusters))
-		for _, ci := range clIdx {
-			c := &d.clusters[ci]
-			data := img[c.WordCol]
-			chargedN := 0
-			var fullBits []int
-			for _, b := range c.Bits {
-				if data&(1<<uint(b)) == 0 { // charged anti-cell
-					chargedN++
-					fullBits = append(fullBits, b)
-				}
-			}
-			if chargedN == 0 {
-				continue
-			}
-			ext := 0
-			for i, nb := range clusterNeighbourBits {
-				bit := data&(1<<uint(nb)) != 0
-				if bit == c.Neighbours[i] {
-					ext++
-				}
-			}
-			pl.clusters = append(pl.clusters, planCluster{
-				cand:       candOf(c.WordCol),
-				partialBit: int32(fullBits[0]),
-				src:        int32(ci),
-				tau0:       c.Tau0,
-				clusterDiv: 1 + phys.ClusterAlpha*float64(chargedN-1) +
-					phys.ClusterExtAlpha*float64(ext),
-				fullBits: fullBits,
-			})
-		}
-
-		pl.rows = append(pl.rows, planRow{
-			key:    key,
-			cellLo: cellLo, cellHi: int32(len(pl.cells)),
-			clLo: clLo, clHi: int32(len(pl.clusters)),
-		})
+		d.compileRowInto(pl, key)
 	}
 
 	pl.flips = make([][]int, len(pl.words))
+	evalMet.planCompiles.Add(1)
 	return pl
+}
+
+// compileRowInto resolves one written row's defects against the current row
+// image and appends its candidate words, cells, clusters and planRow entry
+// to pl. It is the single source of per-row compile semantics: the full
+// compile above and the batch splice path (batch.go) both call it, so a
+// spliced row is bit-identical to a freshly compiled one by construction.
+// Rows without defects append nothing.
+func (d *Device) compileRowInto(pl *evalPlan, key RowKey) {
+	phys := d.cfg.Physics
+	weakIdx := d.weakByRow[key]
+	clIdx := d.clustersByRow[key]
+	if len(weakIdx) == 0 && len(clIdx) == 0 {
+		return
+	}
+	img := d.rows[key]
+
+	// Candidate words of this row, column-ascending so the error log
+	// comes out sorted by (rank, bank, row, word col).
+	cols := pl.colScratch[:0]
+	for _, wi := range weakIdx {
+		cols = append(cols, d.weak[wi].WordCol)
+	}
+	for _, ci := range clIdx {
+		cols = append(cols, d.clusters[ci].WordCol)
+	}
+	sort.Ints(cols)
+	pl.colScratch = cols
+	base := int32(len(pl.words))
+	prev := -1
+	for _, col := range cols {
+		if col == prev {
+			continue
+		}
+		prev = col
+		pl.words = append(pl.words, planWord{
+			key: key, col: col, original: img[col],
+			enc: ecc.Encode(img[col]),
+		})
+	}
+	candOf := func(col int) int32 {
+		for i := base; i < int32(len(pl.words)); i++ {
+			if pl.words[i].col == col {
+				return i
+			}
+		}
+		panic("dram: plan candidate word missing")
+	}
+
+	cellLo := int32(len(pl.cells))
+	for _, wi := range weakIdx {
+		w := &d.weak[wi]
+		cand := candOf(w.WordCol)
+		var stored bool
+		if w.Bit < 64 {
+			stored = img[w.WordCol]&(1<<uint(w.Bit)) != 0
+		} else {
+			stored = pl.words[cand].enc.Check&(1<<uint(w.Bit-64)) != 0
+		}
+		pos := d.physBit(key, w.WordCol, w.Bit)
+		charged := stored == (d.CellTypeAt(key, pos) == TrueCell)
+		lat, vert := d.neighbourCoupling(key, pos)
+		pl.cells = append(pl.cells, planCell{
+			cand:    cand,
+			bit:     int32(w.Bit),
+			src:     int32(wi),
+			charged: charged,
+			vrt:     w.VRT,
+			tau0:    w.Tau0,
+			vrtMult: w.VRTMult,
+			couplingDiv: 1 + phys.CouplingAlpha*float64(lat) +
+				phys.VCouplingDelta*float64(vert),
+		})
+	}
+
+	clLo := int32(len(pl.clusters))
+	for _, ci := range clIdx {
+		c := &d.clusters[ci]
+		data := img[c.WordCol]
+		chargedN := 0
+		bitsLo := len(pl.bitsArena)
+		for _, b := range c.Bits {
+			if data&(1<<uint(b)) == 0 { // charged anti-cell
+				chargedN++
+				pl.bitsArena = append(pl.bitsArena, b)
+			}
+		}
+		if chargedN == 0 {
+			pl.bitsArena = pl.bitsArena[:bitsLo]
+			continue
+		}
+		fullBits := pl.bitsArena[bitsLo:len(pl.bitsArena):len(pl.bitsArena)]
+		ext := 0
+		for i, nb := range clusterNeighbourBits {
+			bit := data&(1<<uint(nb)) != 0
+			if bit == c.Neighbours[i] {
+				ext++
+			}
+		}
+		pl.clusters = append(pl.clusters, planCluster{
+			cand:       candOf(c.WordCol),
+			partialBit: int32(fullBits[0]),
+			src:        int32(ci),
+			tau0:       c.Tau0,
+			clusterDiv: 1 + phys.ClusterAlpha*float64(chargedN-1) +
+				phys.ClusterExtAlpha*float64(ext),
+			fullBits: fullBits,
+		})
+	}
+
+	pl.rows = append(pl.rows, planRow{
+		key:    key,
+		cellLo: cellLo, cellHi: int32(len(pl.cells)),
+		clLo: clLo, clHi: int32(len(pl.clusters)),
+		wordLo: base, wordHi: int32(len(pl.words)),
+	})
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dram
+
+const raceEnabled = false

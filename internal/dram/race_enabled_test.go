@@ -1,0 +1,8 @@
+//go:build race
+
+package dram
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-budget tests skip under it, since its shadow-memory bookkeeping
+// inflates allocation counts beyond the budgets the plain build meets.
+const raceEnabled = true

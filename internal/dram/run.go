@@ -114,6 +114,7 @@ func (d *Device) Run(p RunParams) (RunResult, error) {
 	if err := p.Validate(); err != nil {
 		return RunResult{}, err
 	}
+	evalMet.singleRuns.Add(1)
 	if p.Version.Normalize() == DeterminismV2 {
 		return d.runV2(p)
 	}

@@ -204,8 +204,10 @@ func compilePlanV2(base *evalPlan, phys Physics) *planV2 {
 func (d *Device) condFor(v2 *planV2, p RunParams) *v2cond {
 	c := &v2.cond
 	if c.matches(p) {
+		evalMet.condHits.Add(1)
 		return c
 	}
+	evalMet.condRebuilds.Add(1)
 	phys := d.cfg.Physics
 	pl := v2.base
 
@@ -341,6 +343,7 @@ func (d *Device) runV2Counts(p RunParams) (ce, sdc, ue int, err error) {
 	if err := p.Validate(); err != nil {
 		return 0, 0, 0, err
 	}
+	evalMet.singleRuns.Add(1)
 	ce, sdc, ue = d.v2Accumulate(p).classifyCounts()
 	return ce, sdc, ue, nil
 }

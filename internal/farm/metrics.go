@@ -12,6 +12,7 @@ type Metrics struct {
 	evals   atomic.Int64
 	busyNs  atomic.Int64
 	batches atomic.Int64
+	chunks  atomic.Int64
 }
 
 // NewMetrics starts the clock.
@@ -24,13 +25,25 @@ func (m *Metrics) evalDone(d time.Duration) {
 	m.busyNs.Add(int64(d))
 }
 
+// chunkDone records a chunked dispatch of n evaluations done in one pass;
+// the evaluations count stays comparable across dispatch modes while chunks
+// tracks how many passes the batch engine amortized them into.
+func (m *Metrics) chunkDone(n int, d time.Duration) {
+	m.evals.Add(int64(n))
+	m.busyNs.Add(int64(d))
+	m.chunks.Add(1)
+}
+
 // MetricsSnapshot is a point-in-time reading.
 type MetricsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Evaluations   int64   `json:"evaluations"`
 	Batches       int64   `json:"batches"`
-	BusySeconds   float64 `json:"busy_seconds"`
-	EvalsPerSec   float64 `json:"evals_per_sec"`
+	// Chunks counts chunked worker passes: >0 means the population-batched
+	// evaluation engine is active.
+	Chunks      int64   `json:"chunks"`
+	BusySeconds float64 `json:"busy_seconds"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
 	// Utilization is busy worker-time over budget×uptime — how much of the
 	// configured worker budget is doing evaluations.
 	Utilization float64 `json:"worker_utilization"`
@@ -44,6 +57,7 @@ func (m *Metrics) Snapshot(budget int) MetricsSnapshot {
 		UptimeSeconds: up,
 		Evaluations:   m.evals.Load(),
 		Batches:       m.batches.Load(),
+		Chunks:        m.chunks.Load(),
 		BusySeconds:   time.Duration(m.busyNs.Load()).Seconds(),
 	}
 	if up > 0 {

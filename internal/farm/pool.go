@@ -50,13 +50,32 @@ type EvalFunc func(g ga.Genome, rng *xrand.Rand) (float64, error)
 // on any worker producing the same measurement for the same (genome, rng).
 type WorkerFactory func(w int) (EvalFunc, error)
 
+// ChunkEvalFunc evaluates a contiguous run of pre-assigned tasks on one
+// worker in one pass, writing out[t.Idx] for every task — the seam the
+// dram-level batch evaluation plugs into, amortizing plan compilation
+// across the chunk. The value written for each task must equal what the
+// worker's EvalFunc yields for (t.G, t.RNG); the per-task RNG assignment in
+// the serial prologue already fixes every draw, so chunked and one-at-a-time
+// dispatch are interchangeable at any worker count.
+type ChunkEvalFunc func(tasks []Assigned, out []float64) error
+
+// ChunkFactory builds worker w's chunk evaluator. It runs after every
+// EvalFunc has been built (in worker order), so an implementation may share
+// state — typically the cloned server — with the same worker's EvalFunc.
+// Returning a nil ChunkEvalFunc (with nil error) opts the whole pool out of
+// chunked dispatch: the determinism contract in force may not support it.
+type ChunkFactory func(w int) (ChunkEvalFunc, error)
+
 // Pool evaluates genome batches on a fixed set of workers.
 type Pool struct {
 	evals   []EvalFunc
+	chunks  []ChunkEvalFunc // non-nil only when every worker chunk-evaluates
 	root    *xrand.Rand
 	cache   *Cache
 	condKey string
 	met     *Metrics
+
+	chunkFactory ChunkFactory
 }
 
 // PoolOption configures a Pool.
@@ -76,6 +95,15 @@ func WithCache(c *Cache, condKey string) PoolOption {
 // pools for campaign-wide rates).
 func WithMetrics(m *Metrics) PoolOption {
 	return func(p *Pool) { p.met = m }
+}
+
+// WithChunkFactory enables chunked dispatch: RunAssigned hands each worker a
+// contiguous slice of the task list instead of feeding tasks one at a time.
+// Results are unchanged — every task's RNG is pre-assigned — only the
+// dispatch granularity moves. If the factory yields a nil evaluator for any
+// worker the pool silently stays on per-task dispatch.
+func WithChunkFactory(f ChunkFactory) PoolOption {
+	return func(p *Pool) { p.chunkFactory = f }
 }
 
 // NewPool builds the workers via factory. The root generator seeds the
@@ -106,6 +134,24 @@ func NewPool(workers int, root *xrand.Rand, factory WorkerFactory,
 			return nil, fmt.Errorf("farm: worker %d: factory returned nil", w)
 		}
 		p.evals[w] = ev
+	}
+	if p.chunkFactory != nil {
+		chunks := make([]ChunkEvalFunc, workers)
+		all := true
+		for w := range chunks {
+			cv, err := p.chunkFactory(w)
+			if err != nil {
+				return nil, fmt.Errorf("farm: chunk worker %d: %w", w, err)
+			}
+			if cv == nil {
+				all = false
+				break
+			}
+			chunks[w] = cv
+		}
+		if all {
+			p.chunks = chunks
+		}
 	}
 	return p, nil
 }
@@ -223,6 +269,9 @@ func (p *Pool) RunAssigned(ctx context.Context, tasks []Assigned, out []float64)
 	if nw > len(tasks) {
 		nw = len(tasks)
 	}
+	if p.chunks != nil {
+		return p.runChunked(ctx, tasks, out, nw)
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -278,6 +327,61 @@ dispatch:
 	mu.Lock()
 	defer mu.Unlock()
 	return firstErr
+}
+
+// runChunked partitions the tasks into nw contiguous, near-even chunks —
+// the same split the fleet coordinator uses for shards — and runs each on
+// its worker's chunk evaluator in one pass. Task i's value depends only on
+// (G, RNG), both fixed in the serial prologue, so the partition choice never
+// shows in the fitness vector.
+func (p *Pool) runChunked(ctx context.Context, tasks []Assigned, out []float64, nw int) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < nw; w++ {
+		lo, hi := w*len(tasks)/nw, (w+1)*len(tasks)/nw
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ev ChunkEvalFunc, chunk []Assigned) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			start := time.Now()
+			err := safeChunk(ev, chunk, out)
+			if p.met != nil {
+				p.met.chunkDone(len(chunk), time.Since(start))
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("farm: chunk [%d,%d): %w", chunk[0].Idx,
+						chunk[len(chunk)-1].Idx+1, err)
+				}
+				mu.Unlock()
+			}
+		}(p.chunks[w], tasks[lo:hi])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// safeChunk converts a chunk-evaluator panic into an error, mirroring
+// safeEval at chunk granularity.
+func safeChunk(ev ChunkEvalFunc, tasks []Assigned, out []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("chunk evaluation panic: %v", r)
+		}
+	}()
+	return ev(tasks, out)
 }
 
 // safeEval converts a worker panic into an error so one bad virus fails its

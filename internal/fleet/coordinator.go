@@ -70,6 +70,7 @@ type shard struct {
 // batch is one in-flight EvaluateBatch call.
 type batch struct {
 	evalCtx   json.RawMessage
+	ctxDigest string // contextDigest(evalCtx), computed once at submission
 	out       []float64
 	remaining int // tasks not yet reported
 	err       error
@@ -222,9 +223,11 @@ func (c *Coordinator) LiveWorkers() int {
 
 // Lease hands the worker the oldest pending shard, long-polling up to wait
 // for one to appear. A nil shard with a nil error means the wait budget
-// passed with no work.
+// passed with no work. cachedDigests lists evaluation contexts the worker
+// already holds (see leaseRequest.Contexts): a shard whose context matches
+// ships digest-only.
 func (c *Coordinator) Lease(ctx context.Context, workerID string,
-	wait time.Duration) (*Shard, error) {
+	wait time.Duration, cachedDigests ...string) (*Shard, error) {
 	deadline := time.Now().Add(wait)
 	for {
 		c.mu.Lock()
@@ -243,10 +246,22 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string,
 			sh.expires = now.Add(c.cfg.LeaseTTL)
 			sh.attempts++
 			out := &Shard{
-				ID:      sh.id,
-				Context: sh.b.evalCtx,
-				Tasks:   sh.wire,
-				LeaseS:  c.cfg.LeaseTTL.Seconds(),
+				ID:            sh.id,
+				ContextDigest: sh.b.ctxDigest,
+				Tasks:         sh.wire,
+				LeaseS:        c.cfg.LeaseTTL.Seconds(),
+			}
+			cached := false
+			for _, d := range cachedDigests {
+				if d == sh.b.ctxDigest {
+					cached = true
+					break
+				}
+			}
+			if !cached {
+				out.Context = sh.b.evalCtx
+			} else {
+				c.met.contextsElided.Add(1)
 			}
 			c.mu.Unlock()
 			return out, nil
@@ -382,6 +397,7 @@ func (c *Coordinator) submitBatch(evalCtx json.RawMessage, tasks []farm.Assigned
 	c.sweepLocked(time.Now())
 	b := &batch{
 		evalCtx:   evalCtx,
+		ctxDigest: contextDigest(evalCtx),
 		out:       out,
 		remaining: len(tasks),
 		done:      make(chan struct{}),
@@ -483,6 +499,9 @@ type Status struct {
 	LocalBatches  int64 `json:"local_batches"`
 	RemoteTasks   int64 `json:"remote_tasks"`
 	LocalTasks    int64 `json:"local_tasks"`
+	// ContextsElided counts digest-only leases (worker already held the
+	// evaluation context).
+	ContextsElided int64 `json:"contexts_elided"`
 
 	PendingShards int `json:"pending_shards"`
 	LeasedShards  int `json:"leased_shards"`
@@ -505,6 +524,7 @@ func (c *Coordinator) Snapshot() Status {
 		LocalBatches:   c.met.localBatches.Load(),
 		RemoteTasks:    c.met.remoteTasks.Load(),
 		LocalTasks:     c.met.localTasks.Load(),
+		ContextsElided: c.met.contextsElided.Load(),
 	}
 	for _, sh := range c.shards {
 		switch sh.state {

@@ -33,10 +33,20 @@
 package fleet
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 
 	"dstress/internal/ga"
 )
+
+// contextDigest is the cache identity of an evaluation context — computed
+// identically on both sides of the wire so a coordinator's digest matches
+// the key a worker cached its evaluator under.
+func contextDigest(evalCtx json.RawMessage) string {
+	sum := sha256.Sum256(evalCtx)
+	return hex.EncodeToString(sum[:])
+}
 
 // Task is one genome evaluation, fully determined by its wire content: the
 // serialized chromosome and the state of the pre-split noise stream that
@@ -57,9 +67,18 @@ type TaskResult struct {
 // opaque description of the evaluation environment the worker must build
 // (the daemon ships its job request; the fleet never interprets it).
 type Shard struct {
-	ID      string          `json:"id"`
-	Context json.RawMessage `json:"context"`
-	Tasks   []Task          `json:"tasks"`
+	ID string `json:"id"`
+	// Context is the shared evaluation-environment payload. It is shipped
+	// once per environment per worker: when the leasing worker advertised
+	// ContextDigest as already cached, the coordinator omits it and the
+	// shard carries only the digest.
+	Context json.RawMessage `json:"context,omitempty"`
+	// ContextDigest is the hex SHA-256 of the context payload. Workers key
+	// their built-evaluator cache by it and advertise known digests on every
+	// lease, shrinking steady-state shard payloads from the whole job
+	// request to 64 bytes.
+	ContextDigest string `json:"context_digest,omitempty"`
+	Tasks         []Task `json:"tasks"`
 	// LeaseS is how long the worker holds the lease before the coordinator
 	// re-queues the shard, in seconds.
 	LeaseS float64 `json:"lease_s"`
@@ -86,6 +105,11 @@ type heartbeatRequest struct {
 type leaseRequest struct {
 	WorkerID string  `json:"worker_id"`
 	WaitS    float64 `json:"wait_s,omitempty"` // long-poll budget
+	// Contexts lists the context digests this worker holds built evaluators
+	// for; the coordinator omits Shard.Context for any of them. An older
+	// worker that never advertises simply receives the full payload every
+	// time — the field is an optimization, not a protocol break.
+	Contexts []string `json:"contexts,omitempty"`
 }
 
 type leaseResponse struct {

@@ -366,3 +366,140 @@ func TestReportUnknownWorker(t *testing.T) {
 		t.Fatal("unknown worker's report returned nil")
 	}
 }
+
+// testBatchBuild is the worker-side BatchBuildFunc: the same measurement as
+// testBuild plus a chunked companion that evaluates its tasks in one pass —
+// identical values, so chunked workers must be invisible in the results.
+func testBatchBuild(json.RawMessage) (farm.EvalFunc, farm.ChunkEvalFunc, error) {
+	chunk := func(tasks []farm.Assigned, out []float64) error {
+		for _, tk := range tasks {
+			v, err := testEval(tk.G, tk.RNG)
+			if err != nil {
+				return err
+			}
+			out[tk.Idx] = v
+		}
+		return nil
+	}
+	return testEval, chunk, nil
+}
+
+// TestBatchDetV2ChunkedWorkersBitIdentical: workers evaluating whole shards
+// through their chunked evaluator reproduce the local pool's fitness vector
+// exactly, at 1 and 2 nodes.
+func TestBatchDetV2ChunkedWorkersBitIdentical(t *testing.T) {
+	const seed = 909
+	gs := testGenomes(t, 9)
+	want := reference(t, seed, gs)
+
+	for _, workers := range []int{1, 2} {
+		c := NewCoordinator(fastConfig())
+		ts := serve(t, c)
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			w := NewWorker(ts.URL, fmt.Sprintf("bw%d", i), testBuild,
+				WithBatchBuild(testBatchBuild),
+				WithLeaseWait(200*time.Millisecond),
+				WithBackoff(5*time.Millisecond, 50*time.Millisecond, 2))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = w.Run(ctx)
+			}()
+		}
+		waitLive(t, c, workers)
+
+		sess := c.NewSession(json.RawMessage(`{"env":9}`), testPool(t, seed))
+		got, err := sess.EvaluateBatch(context.Background(), gs)
+		cancel()
+		wg.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d chunked workers diverged from local pool:\n got %v\nwant %v",
+				workers, got, want)
+		}
+		if st := c.Snapshot(); st.RemoteTasks == 0 {
+			t.Fatalf("no tasks ran remotely: %+v", st)
+		}
+	}
+}
+
+// TestLeaseContextElision: a worker that advertises a cached context digest
+// receives digest-only shards; one that advertises nothing still gets the
+// full payload (older workers keep working).
+func TestLeaseContextElision(t *testing.T) {
+	c := NewCoordinator(fastConfig())
+	id, _ := c.Join("tw0")
+	evalCtx := json.RawMessage(`{"env":42}`)
+	gs := testGenomes(t, 2)
+
+	lease := func(cached ...string) *Shard {
+		t.Helper()
+		var tasks []farm.Assigned
+		for i, g := range gs {
+			tasks = append(tasks, farm.Assigned{Idx: i, G: g,
+				RNG: xrand.New(uint64(i + 1))})
+		}
+		b, err := c.submitBatch(evalCtx, tasks, make([]float64, len(tasks)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.abandon(b)
+		sh, err := c.Lease(context.Background(), id, time.Second, cached...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh == nil {
+			t.Fatal("no shard leased")
+		}
+		if sh.ContextDigest != contextDigest(evalCtx) {
+			t.Fatalf("shard digest %q != context digest %q",
+				sh.ContextDigest, contextDigest(evalCtx))
+		}
+		return sh
+	}
+
+	if sh := lease(); len(sh.Context) == 0 {
+		t.Fatal("first lease (no advertised digests) elided the context")
+	}
+	if sh := lease("deadbeef"); len(sh.Context) == 0 {
+		t.Fatal("lease with a foreign digest elided the context")
+	}
+	if sh := lease(contextDigest(evalCtx)); len(sh.Context) != 0 {
+		t.Fatal("lease with the matching digest still shipped the context")
+	}
+	if st := c.Snapshot(); st.ContextsElided != 1 {
+		t.Fatalf("ContextsElided = %d, want 1", st.ContextsElided)
+	}
+}
+
+// TestWorkerAdvertisesCachedContexts: a real worker's second shard for the
+// same context arrives digest-only end to end over HTTP.
+func TestWorkerAdvertisesCachedContexts(t *testing.T) {
+	const seed = 313
+	gs := testGenomes(t, 6)
+	want := reference(t, seed, gs)
+
+	c := NewCoordinator(fastConfig())
+	ts := serve(t, c)
+	stop := startWorkers(t, ts.URL, 1)
+	defer stop()
+	waitLive(t, c, 1)
+
+	sess := c.NewSession(json.RawMessage(`{"env":7}`), testPool(t, seed))
+	for i := 0; i < 3; i++ {
+		got, err := sess.EvaluateBatch(context.Background(), gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results, want %d", i, len(got), len(want))
+		}
+	}
+	if st := c.Snapshot(); st.ContextsElided == 0 {
+		t.Fatal("repeated same-context shards never shipped digest-only")
+	}
+}

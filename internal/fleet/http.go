@@ -56,7 +56,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if wait > maxLeaseWait {
 		wait = maxLeaseWait
 	}
-	sh, err := c.Lease(r.Context(), req.WorkerID, wait)
+	sh, err := c.Lease(r.Context(), req.WorkerID, wait, req.Contexts...)
 	if err != nil {
 		workerError(w, err)
 		return

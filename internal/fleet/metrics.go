@@ -15,4 +15,7 @@ type metrics struct {
 	localBatches   atomic.Int64
 	remoteTasks    atomic.Int64
 	localTasks     atomic.Int64
+	// contextsElided counts leases shipped digest-only because the worker
+	// already held the context's evaluator.
+	contextsElided atomic.Int64
 }

@@ -3,13 +3,12 @@ package fleet
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,25 +23,42 @@ import (
 // for that context — the determinism contract rests on it.
 type BuildFunc func(evalCtx json.RawMessage) (farm.EvalFunc, error)
 
+// BatchBuildFunc constructs both evaluators for an evaluation context over
+// one shared environment: the per-task evaluator and its chunked companion,
+// which evaluates a whole shard in one batched pass (see farm.ChunkEvalFunc).
+// A nil chunk evaluator (with nil error) means the context's determinism
+// contract does not support batching; the worker evaluates that context's
+// shards per task. The chunked pass must be bit-identical to the per-task
+// one — core.NewWorkerEvaluators provides exactly this pair.
+type BatchBuildFunc func(evalCtx json.RawMessage) (farm.EvalFunc, farm.ChunkEvalFunc, error)
+
+// workerEval is one context's cached evaluator pair.
+type workerEval struct {
+	single farm.EvalFunc
+	chunk  farm.ChunkEvalFunc // nil: evaluate per task
+}
+
 // Worker is the remote side of the fleet: it joins a coordinator, heartbeats,
 // pulls leased shards, evaluates them and reports results, retrying transport
 // errors with capped exponential backoff and re-joining when the coordinator
 // forgets it (restart, liveness expiry).
 type Worker struct {
-	base      string
-	name      string
-	client    *http.Client
-	build     BuildFunc
-	logf      func(string, ...any)
-	leaseWait time.Duration
-	boMin     time.Duration
-	boMax     time.Duration
-	boFactor  float64
-	rng       *xrand.Rand
-	retries   atomic.Int64
+	base       string
+	name       string
+	client     *http.Client
+	build      BuildFunc
+	batchBuild BatchBuildFunc
+	logf       func(string, ...any)
+	leaseWait  time.Duration
+	boMin      time.Duration
+	boMax      time.Duration
+	boFactor   float64
+	rng        *xrand.Rand
+	retries    atomic.Int64
 
-	mu    sync.Mutex
-	evals map[string]farm.EvalFunc // context digest -> cached evaluator
+	mu      sync.Mutex
+	evals   map[string]workerEval // context digest -> cached evaluator pair
+	digests []string              // sorted cache keys, advertised on lease
 }
 
 // WorkerOption configures a Worker.
@@ -68,6 +84,13 @@ func WithBackoff(min, max time.Duration, factor float64) WorkerOption {
 	return func(w *Worker) { w.boMin, w.boMax, w.boFactor = min, max, factor }
 }
 
+// WithBatchBuild installs the paired builder: contexts are built once and
+// shards whose contract supports it are evaluated in one chunked pass
+// instead of task by task. Takes precedence over the plain BuildFunc.
+func WithBatchBuild(f BatchBuildFunc) WorkerOption {
+	return func(w *Worker) { w.batchBuild = f }
+}
+
 // NewWorker builds a worker client for the coordinator at base (e.g.
 // "http://host:9753"). build turns shard contexts into evaluators.
 func NewWorker(base, name string, build BuildFunc, opts ...WorkerOption) *Worker {
@@ -79,7 +102,7 @@ func NewWorker(base, name string, build BuildFunc, opts ...WorkerOption) *Worker
 		logf:      func(string, ...any) {},
 		leaseWait: 20 * time.Second,
 		rng:       xrand.New(uint64(time.Now().UnixNano())),
-		evals:     make(map[string]farm.EvalFunc),
+		evals:     make(map[string]workerEval),
 	}
 	for _, o := range opts {
 		o(w)
@@ -178,7 +201,8 @@ func (w *Worker) leaseLoop(ctx context.Context, id string) error {
 			return err
 		}
 		var resp leaseResponse
-		req := leaseRequest{WorkerID: id, WaitS: w.leaseWait.Seconds()}
+		req := leaseRequest{WorkerID: id, WaitS: w.leaseWait.Seconds(),
+			Contexts: w.cachedDigests()}
 		if err := w.post(ctx, "lease", req, &resp); err != nil {
 			if errors.Is(err, ErrUnknownWorker) {
 				return err
@@ -230,16 +254,17 @@ func (w *Worker) report(ctx context.Context, bo *Backoff, rep reportRequest) err
 	}
 }
 
-// evaluate runs a shard's tasks serially on the context's evaluator. Any
+// evaluate runs a shard's tasks on the context's evaluator — in one chunked
+// pass when the context supports batching, task by task otherwise. Any
 // failure — undecodable genome, bad RNG state, evaluation error or panic —
 // is reported as the shard's evaluation error.
 func (w *Worker) evaluate(sh *Shard) ([]TaskResult, error) {
-	ev, err := w.evaluator(sh.Context)
+	ev, err := w.evaluator(sh)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]TaskResult, 0, len(sh.Tasks))
-	for _, t := range sh.Tasks {
+	tasks := make([]farm.Assigned, len(sh.Tasks))
+	for i, t := range sh.Tasks {
 		g, err := ga.DecodeGenome(t.Genome)
 		if err != nil {
 			return nil, fmt.Errorf("task %d: %w", t.Index, err)
@@ -248,11 +273,25 @@ func (w *Worker) evaluate(sh *Shard) ([]TaskResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("task %d: %w", t.Index, err)
 		}
-		v, err := safeWorkerEval(ev, g, rng)
-		if err != nil {
-			return nil, fmt.Errorf("task %d: %w", t.Index, err)
+		tasks[i] = farm.Assigned{Idx: i, G: g, RNG: rng}
+	}
+	out := make([]float64, len(tasks))
+	if ev.chunk != nil {
+		if err := safeWorkerChunk(ev.chunk, tasks, out); err != nil {
+			return nil, fmt.Errorf("shard chunk: %w", err)
 		}
-		results = append(results, TaskResult{Index: t.Index, Fitness: v})
+	} else {
+		for i, t := range tasks {
+			v, err := safeWorkerEval(ev.single, t.G, t.RNG)
+			if err != nil {
+				return nil, fmt.Errorf("task %d: %w", sh.Tasks[i].Index, err)
+			}
+			out[i] = v
+		}
+	}
+	results := make([]TaskResult, len(sh.Tasks))
+	for i, t := range sh.Tasks {
+		results[i] = TaskResult{Index: t.Index, Fitness: out[i]}
 	}
 	return results, nil
 }
@@ -266,24 +305,67 @@ func safeWorkerEval(ev farm.EvalFunc, g ga.Genome, rng *xrand.Rand) (v float64, 
 	return ev(g, rng)
 }
 
-// evaluator builds (or reuses) the evaluator for a shard context, keyed by
-// the context's digest: a daemon serving several concurrent searches ships
-// several contexts, and rebuilding the simulated server per shard would
-// dominate the shard itself.
-func (w *Worker) evaluator(evalCtx json.RawMessage) (farm.EvalFunc, error) {
-	sum := sha256.Sum256(evalCtx)
-	key := hex.EncodeToString(sum[:])
+func safeWorkerChunk(ev farm.ChunkEvalFunc, tasks []farm.Assigned,
+	out []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluation panic: %v", r)
+		}
+	}()
+	return ev(tasks, out)
+}
+
+// evaluator builds (or reuses) the evaluator pair for a shard's context,
+// keyed by the context digest: a daemon serving several concurrent searches
+// ships several contexts, and rebuilding the simulated server per shard
+// would dominate the shard itself. A digest-only shard (context elided
+// because this worker advertised it) must hit the cache; a coordinator only
+// elides what the worker claimed to hold.
+func (w *Worker) evaluator(sh *Shard) (workerEval, error) {
+	key := sh.ContextDigest
+	if key == "" {
+		// Pre-digest coordinator: ships the full context every time.
+		key = contextDigest(sh.Context)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if ev, ok := w.evals[key]; ok {
 		return ev, nil
 	}
-	ev, err := w.build(evalCtx)
+	if len(sh.Context) == 0 {
+		return workerEval{}, fmt.Errorf(
+			"shard %s: context %.12s… elided but not cached", sh.ID, key)
+	}
+	var ev workerEval
+	var err error
+	if w.batchBuild != nil {
+		ev.single, ev.chunk, err = w.batchBuild(sh.Context)
+	} else {
+		ev.single, err = w.build(sh.Context)
+	}
 	if err != nil {
-		return nil, err
+		return workerEval{}, err
+	}
+	if ev.single == nil {
+		return workerEval{}, fmt.Errorf("shard %s: builder returned no evaluator", sh.ID)
 	}
 	w.evals[key] = ev
+	w.digests = append(w.digests, key)
+	sort.Strings(w.digests)
 	return ev, nil
+}
+
+// cachedDigests snapshots the context digests this worker holds, advertised
+// with every lease so the coordinator can ship digest-only shards.
+func (w *Worker) cachedDigests() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.digests) == 0 {
+		return nil
+	}
+	out := make([]string, len(w.digests))
+	copy(out, w.digests)
+	return out
 }
 
 func (w *Worker) backoff() *Backoff {

@@ -269,6 +269,19 @@ func (e *Engine) evolve(ctx context.Context, pop []Genome, fits []float64,
 		perGene = 1.5 / float64(pop[0].Len())
 	}
 
+	// Generation scratch, allocated once and recycled by capacity-preserving
+	// truncation: populations are fixed-size, so after the first generation
+	// the breeding loop allocates nothing but the genomes themselves. The
+	// incoming slices are copied first so the ping-pong between pop and the
+	// scratch arrays never clobbers a caller-owned backing array.
+	n := len(pop)
+	pop = append(make([]Genome, 0, n), pop...)
+	fits = append(make([]float64, 0, n), fits...)
+	popBuf := make([]Genome, 0, n)
+	fitsBuf := make([]float64, 0, n)
+	childBuf := make([]Genome, 0, n)
+	weights := selectionWeights(n)
+
 	for gen := startGen; gen <= p.MaxGenerations; gen++ {
 		sortByFitness(pop, fits)
 		sim := meanPairwiseSimilarity(pop)
@@ -303,8 +316,8 @@ func (e *Engine) evolve(ctx context.Context, pop []Genome, fits []float64,
 			break
 		}
 
-		next := make([]Genome, 0, len(pop))
-		nextFits := make([]float64, 0, len(pop))
+		next := popBuf[:0]
+		nextFits := fitsBuf[:0]
 		for i := 0; i < p.ElitismCount; i++ {
 			next = append(next, pop[i].Clone())
 			nextFits = append(nextFits, fits[i])
@@ -315,8 +328,7 @@ func (e *Engine) evolve(ctx context.Context, pop []Genome, fits []float64,
 		// the serial engine did, so results are unchanged; only the fitness
 		// calls move into the batch, where a farm can spread them over
 		// workers.
-		var children []Genome
-		weights := selectionWeights(len(pop))
+		children := childBuf[:0]
 		for len(next)+len(children) < len(pop) {
 			a := pop[roulette(e.rng, weights)]
 			b := pop[roulette(e.rng, weights)]
@@ -347,6 +359,10 @@ func (e *Engine) evolve(ctx context.Context, pop []Genome, fits []float64,
 			return Result{}, err
 		}
 		e.Evaluations += len(children)
+		childBuf = children
+		// Ping-pong: the new population lives in the scratch arrays; the old
+		// one's arrays become next generation's scratch.
+		popBuf, fitsBuf = pop[:0], fits[:0]
 		pop = append(next, children...)
 		fits = append(nextFits, cfits...)
 	}

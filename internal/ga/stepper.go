@@ -39,6 +39,16 @@ type Stepper struct {
 	gen     int
 	evals   int
 	history []GenStats
+
+	// Generation scratch, recycled by capacity-preserving truncation so the
+	// steady-state loop stops allocating: weights depend only on the
+	// population size, childBuf backs the slice Breed returns, and
+	// popBuf/fitsBuf ping-pong with pop/fits across Advance calls. None of
+	// this touches the RNG, so recycling cannot perturb the stream.
+	weights  []float64
+	childBuf []Genome
+	popBuf   []Genome
+	fitsBuf  []float64
 }
 
 // NewStepper builds a stepped engine. Like NewBatch, the batch evaluator and
@@ -133,13 +143,20 @@ func (s *Stepper) Need() int { return s.params.PopulationSize - s.params.Elitism
 // pair is discarded before its mutation draw — the same truncation rule the
 // Engine applies at the population boundary. n may exceed Need() (surrogate
 // overbreeding); the caller chooses which offspring to evaluate.
+//
+// The returned slice aliases the stepper's internal brood buffer: it is
+// valid until the next Breed call, which recycles the backing array. Callers
+// that need the brood beyond that must copy the slice (the genomes
+// themselves are never recycled).
 func (s *Stepper) Breed(n int) []Genome {
 	p := s.params
-	children := make([]Genome, 0, n)
-	weights := selectionWeights(len(s.pop))
+	if len(s.weights) != len(s.pop) {
+		s.weights = selectionWeights(len(s.pop))
+	}
+	children := s.childBuf[:0]
 	for len(children) < n {
-		a := s.pop[roulette(s.rng, weights)]
-		b := s.pop[roulette(s.rng, weights)]
+		a := s.pop[roulette(s.rng, s.weights)]
+		b := s.pop[roulette(s.rng, s.weights)]
 		var c1, c2 Genome
 		if s.rng.Bool(p.CrossoverProb) {
 			c1, c2 = a.Crossover(b, s.rng)
@@ -156,6 +173,7 @@ func (s *Stepper) Breed(n int) []Genome {
 			children = append(children, child)
 		}
 	}
+	s.childBuf = children
 	return children
 }
 
@@ -182,14 +200,18 @@ func (s *Stepper) Advance(children []Genome, fits []float64) (GenStats, error) {
 		return GenStats{}, fmt.Errorf("ga: advance with %d offspring / %d fitnesses, need %d",
 			len(children), len(fits), s.Need())
 	}
-	next := make([]Genome, 0, s.params.PopulationSize)
-	nextFits := make([]float64, 0, s.params.PopulationSize)
+	next := s.popBuf[:0]
+	nextFits := s.fitsBuf[:0]
 	for i := 0; i < s.params.ElitismCount; i++ {
 		next = append(next, s.pop[i].Clone())
 		nextFits = append(nextFits, s.fits[i])
 	}
 	next = append(next, children...)
 	nextFits = append(nextFits, fits...)
+	// Ping-pong: the outgoing population's arrays become next generation's
+	// scratch. Safe because every external view of the old population
+	// (Emigrants, Snapshot, finalizers) clones or copies before this point.
+	s.popBuf, s.fitsBuf = s.pop[:0], s.fits[:0]
 	s.pop, s.fits = next, nextFits
 	s.gen++
 	return s.record(), nil

@@ -285,6 +285,11 @@ func (m *Model) Resume(ctx context.Context, snap Snapshot) (Result, error) {
 // entry generation m.gen is fully closed.
 func (m *Model) runLoop(ctx context.Context) (Result, error) {
 	canceled := false
+	// Fixed-size per-generation scratch, hoisted out of the loop: every slot
+	// is overwritten each generation before it is read.
+	broods := make([][]ga.Genome, len(m.st))
+	fits := make([][]float64, len(m.st))
+	per := make([]ga.GenStats, len(m.st))
 	for {
 		if m.allConverged() {
 			return m.finalize(true, false), nil
@@ -298,7 +303,6 @@ func (m *Model) runLoop(ctx context.Context) (Result, error) {
 		}
 
 		// Breed and screen serially, island order: only island RNGs draw.
-		broods := make([][]ga.Genome, len(m.st))
 		for i, st := range m.st {
 			need := st.Need()
 			n := need
@@ -313,7 +317,6 @@ func (m *Model) runLoop(ctx context.Context) (Result, error) {
 		}
 
 		// Real evaluation, concurrently across islands.
-		fits := make([][]float64, len(m.st))
 		err := m.parallelIslands(func(i int) error {
 			f, err := m.st[i].Evaluate(ctx, broods[i])
 			fits[i] = f
@@ -332,7 +335,6 @@ func (m *Model) runLoop(ctx context.Context) (Result, error) {
 		}
 
 		// Advance and train serially, island order.
-		per := make([]ga.GenStats, len(m.st))
 		for i, st := range m.st {
 			gst, err := st.Advance(broods[i], fits[i])
 			if err != nil {

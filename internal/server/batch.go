@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+
+	"dstress/internal/dram"
+	"dstress/internal/xrand"
+)
+
+// EvaluateBatch is the generation-sized Evaluate: it measures every deploy
+// in order against one MCU's DIMM, compiling the evaluation plan and
+// conditions once and splicing per genome (see dram batch docs). The
+// operating parameters, per-rank temperatures and the determinism contract
+// are read once — within a generation none of them move — while each
+// genome's controller-accumulated activation rates are captured right after
+// its deploy runs, exactly when the per-genome path would read them.
+//
+// For every index i, the result is bit-identical to calling deploys[i]
+// followed by Evaluate(mcu, runs, rngs[i]). The batch path requires the
+// server to measure under determinism v2; under v1 it returns the dram
+// layer's contract error and callers fall back to per-genome evaluation.
+func (s *Server) EvaluateBatch(mcu, runs int, deploys []func() error,
+	rngs []*xrand.Rand) ([]EvalResult, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("server: EvaluateBatch runs = %d", runs)
+	}
+	if len(deploys) != len(rngs) {
+		return nil, fmt.Errorf("server: EvaluateBatch %d deploys, %d rngs",
+			len(deploys), len(rngs))
+	}
+	ctl := s.MCU(mcu)
+	tempByRank := map[int]float64{}
+	for rank := 0; rank < ctl.Device().Geometry().Ranks; rank++ {
+		t, err := s.testbed.Temp(mcu, rank)
+		if err != nil {
+			return nil, err
+		}
+		tempByRank[rank] = t
+	}
+	p := dram.RunParams{
+		TREFP:      ctl.TREFP(),
+		TempC:      s.DIMMTemp(mcu),
+		TempByRank: tempByRank,
+		VDD:        ctl.VDD(),
+		Version:    s.cfg.Determinism,
+	}
+	items := make([]dram.BatchItem, len(deploys))
+	for i := range items {
+		deploy := deploys[i]
+		items[i] = dram.BatchItem{
+			Apply: func(*dram.Device) error { return deploy() },
+			Acts:  ctl.ActsPerWindow,
+			RNG:   rngs[i],
+		}
+	}
+	batch, err := ctl.Device().AverageRunsBatch(p, runs, items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EvalResult, len(batch))
+	for i, b := range batch {
+		res := EvalResult{
+			MeanCE:   b.MeanCE,
+			MeanSDC:  b.MeanSDC,
+			UEFrac:   b.UEFrac,
+			CEByRank: make(map[int]float64),
+		}
+		for rank, mean := range b.CEByRank {
+			if mean != 0 {
+				res.CEByRank[rank] = mean
+			}
+		}
+		out[i] = res
+	}
+	return out, nil
+}
