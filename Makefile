@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check detv2-test islands-test store-test batch-test lint resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test test-short check detv2-test islands-test store-test batch-test service-test lint resume-test fleet-test bench bench-json experiments experiments-full fuzz clean
 
 all: build test
 
@@ -35,6 +35,7 @@ check:
 	$(MAKE) islands-test
 	$(MAKE) store-test
 	$(MAKE) batch-test
+	$(MAKE) service-test
 	$(MAKE) lint
 	$(GO) test -race -timeout 30m ./...
 
@@ -88,17 +89,33 @@ batch-test:
 	$(GO) test -race -count 1 -run 'Batch|LeaseContext|AdvertisesCachedContexts' \
 		./internal/dram ./internal/core ./internal/fleet
 
+# The multi-tenant service matrix: bearer auth (401 envelope, open debug
+# surface, fleet worker pass-through), per-tenant quotas (429 + accounting),
+# SSE progress streaming, admission-queue ordering (priority bands, FIFO,
+# anti-starvation, cancel-from-queue), the scheduler-leak regressions
+# (context-per-timed-job, bounded terminal retention, Drain timer), and
+# journal-preserved admission identity across a restart — then one -race
+# iteration of the same surface, since admission and finish are the
+# scheduler's hottest lock paths.
+service-test:
+	$(GO) test -run 'TestScheduler|TestAuth|TestQuota|TestSSE|TestEvicted|TestFleetWorkerAuth' \
+		./internal/farm ./cmd/dstressd
+	$(GO) test -race -count 1 \
+		-run 'TestScheduler|TestAuth|TestQuota|TestSSE|TestEvicted|TestFleetWorkerAuth' \
+		./internal/farm ./cmd/dstressd
+
 # Static analysis over the island/surrogate/persistence/batch-evaluation
 # subsystems: vet, gofmt cleanliness, and staticcheck when one is already on
 # PATH (the build never installs tools). The dram and farm packages are
 # gofmt-checked by explicit file list: their kernel files carry intentional
 # manual alignment that predates this check.
 LINT_PKGS  = ./internal/islands ./internal/predict ./internal/seglog \
-	./internal/fleet ./internal/ga ./cmd/benchjson
+	./internal/fleet ./internal/ga ./cmd/benchjson ./cmd/loadgen
 LINT_DIRS  = internal/islands internal/predict internal/seglog \
-	internal/fleet internal/ga cmd/benchjson
+	internal/fleet internal/ga cmd/benchjson cmd/loadgen
 LINT_FILES = internal/dram/batch.go internal/dram/metrics.go \
-	internal/farm/pool.go internal/farm/metrics.go internal/core/parallel.go
+	internal/farm/pool.go internal/farm/metrics.go internal/farm/scheduler.go \
+	internal/farm/tenant.go internal/farm/journal.go internal/core/parallel.go
 
 lint:
 	$(GO) vet $(LINT_PKGS)

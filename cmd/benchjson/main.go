@@ -73,6 +73,11 @@ type Snapshot struct {
 	// Batch is the population-batched vs per-genome evaluation comparison
 	// (-batch) at growing population sizes.
 	Batch *BatchBench `json:"batch,omitempty"`
+	// Loadgen is the multi-tenant service load report written by
+	// `loadgen -bench` (submit/wait latency percentiles, fairness ratios,
+	// quota rejections). Kept raw: loadgen owns the schema and merges the
+	// section itself; -merge on other sections must round-trip it untouched.
+	Loadgen json.RawMessage `json:"loadgen,omitempty"`
 }
 
 func main() {

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"dstress/internal/farm"
+)
+
+// authConfig is the static auth file the daemon loads at start:
+//
+//	{
+//	  "tokens":  {"tokA": "alpha", "tokB": "beta"},
+//	  "tenants": {"alpha": {"max_workers": 4, "max_jobs": 2, "weight": 1}}
+//	}
+//
+// tokens maps each bearer token to the tenant it authenticates as; tenants
+// carries the per-tenant scheduler limits (farm.TenantLimits — absent or
+// zero fields mean uncapped). A tenant may own several tokens. Tenants named
+// only under "tenants" still get their limits; tenants named only under
+// "tokens" run uncapped.
+type authConfig struct {
+	Tokens  map[string]string            `json:"tokens"`
+	Tenants map[string]farm.TenantLimits `json:"tenants"`
+}
+
+func loadAuthConfig(path string) (*authConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("auth config: %w", err)
+	}
+	var cfg authConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("auth config %s: %w", path, err)
+	}
+	if len(cfg.Tokens) == 0 {
+		return nil, fmt.Errorf("auth config %s: no tokens", path)
+	}
+	for tok, tenant := range cfg.Tokens {
+		if tok == "" || tenant == "" {
+			return nil, fmt.Errorf("auth config %s: empty token or tenant", path)
+		}
+	}
+	return &cfg, nil
+}
+
+// tenantKey carries the authenticated tenant through the request context.
+type tenantKey struct{}
+
+// tenantOf returns the tenant the request authenticated as, or the anonymous
+// tenant when the daemon runs with auth off.
+func tenantOf(r *http.Request) string {
+	if t, ok := r.Context().Value(tenantKey{}).(string); ok {
+		return t
+	}
+	return farm.AnonymousTenant
+}
+
+// authenticate resolves the request's bearer token to a tenant. Comparison
+// is constant-time per token so a probing client cannot bisect a token byte
+// by byte off the response latency.
+func (a *authConfig) authenticate(r *http.Request) (string, error) {
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		return "", errors.New("missing Authorization header")
+	}
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || tok == "" {
+		return "", errors.New("malformed Authorization header (want Bearer <token>)")
+	}
+	for want, tenant := range a.Tokens {
+		if len(want) == len(tok) &&
+			subtle.ConstantTimeCompare([]byte(want), []byte(tok)) == 1 {
+			return tenant, nil
+		}
+	}
+	return "", errors.New("unknown token")
+}
+
+// withAuth gates the API surface behind bearer-token auth: every /api/...
+// route (v1, the legacy aliases, and the fleet worker protocol) plus the
+// legacy /metrics spelling requires a known token, and the resolved tenant
+// rides the request context into submit-side quota accounting. The debug
+// surface (/debug/vars, pprof) stays open — it is an operator loopback
+// surface, not the tenant API. A nil config is auth-off: everything passes
+// as the anonymous tenant.
+func withAuth(cfg *authConfig, next http.Handler) http.Handler {
+	if cfg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/api/") && r.URL.Path != "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tenant, err := cfg.authenticate(r)
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="dstressd"`)
+			httpError(w, http.StatusUnauthorized, err)
+			return
+		}
+		ctx := context.WithValue(r.Context(), tenantKey{}, tenant)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -30,13 +30,21 @@
 //	POST /api/v1/jobs            submit a search (JSON body, see jobRequest)
 //	GET  /api/v1/jobs            list all jobs
 //	GET  /api/v1/jobs/{id}       one job's status and, when finished, result
-//	GET  /api/v1/jobs/{id}/wait  the same, but blocks until the job finishes
+//	GET  /api/v1/jobs/{id}/wait  the same, but blocks until the job finishes;
+//	                             with Accept: text/event-stream, an SSE
+//	                             progress stream instead (see serveSSE)
 //	POST /api/v1/jobs/{id}/cancel
 //	GET  /api/v1/virusdb         experiments; with ?experiment=... the
 //	                             records, paged by limit/offset/min_fitness
 //	GET  /api/v1/metrics         farm/cache/scheduler/fleet/eval counters
 //	GET  /debug/vars             the same, expvar-style
 //	POST /api/v1/fleet/{join,heartbeat,lease,report}  fleet worker protocol
+//
+// With -auth, the API surface (the fleet worker verbs included) requires a
+// bearer token; each token maps to a tenant whose scheduler quotas, priority
+// weight and metrics are tracked separately (see authConfig). Without it,
+// every client is the "anonymous" tenant. A submission rejected by its
+// tenant's quota answers 429 quota_exceeded.
 //
 // Every error — unknown endpoints and unknown job ids included — answers
 // with the uniform JSON envelope {"error":{"code","message"}}, so fleet
@@ -57,6 +65,7 @@ import (
 	"os/signal"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -83,8 +92,18 @@ type daemon struct {
 	metrics    *farm.Metrics
 	islandsMet *islands.Metrics
 	fleet      *fleet.Coordinator
+	auth       *authConfig // nil: auth off, every request is anonymous
 	rows       int
 	seed       uint64
+}
+
+// setAuth installs the token→tenant map and pushes the per-tenant limits
+// into the scheduler. Call before the handler serves traffic.
+func (d *daemon) setAuth(cfg *authConfig) {
+	d.auth = cfg
+	if cfg != nil && len(cfg.Tenants) > 0 {
+		d.sched.SetTenantLimits(cfg.Tenants)
+	}
 }
 
 func newDaemon(budget, rows int, seed uint64, db *virusdb.DB,
@@ -120,7 +139,11 @@ type jobRequest struct {
 	Generations int     `json:"generations"`
 	Population  int     `json:"population"`
 	Workers     int     `json:"workers"`
-	Seed        uint64  `json:"seed"`
+	// Priority orders admission when the farm is saturated: higher admits
+	// first, FIFO within equal (tenant-weighted) priority. Zero is the
+	// default band.
+	Priority int    `json:"priority,omitempty"`
+	Seed     uint64 `json:"seed"`
 	Rows        int     `json:"rows"`
 	Runs        int     `json:"runs"`
 	// Fill is the fixed data background of the access templates, as a hex
@@ -208,6 +231,7 @@ type prepared struct {
 	det     dram.DeterminismVersion
 	islands islands.Config
 	name    string
+	tenant  string // server-assigned: auth middleware or journal entry, never the body
 	timeout time.Duration
 }
 
@@ -299,20 +323,23 @@ func (d *daemon) launch(p prepared, ckpt json.RawMessage) (*farm.Job, error) {
 	fn := func(ctx context.Context, j *farm.Job) (any, error) {
 		return d.runSearch(ctx, j, p, cp)
 	}
+	spec := farm.JobSpec{
+		Name:     p.name,
+		Tenant:   p.tenant,
+		Priority: p.req.Priority,
+		Workers:  p.req.Workers,
+		Timeout:  p.timeout,
+	}
 	if d.journal == nil {
-		return d.sched.Submit(p.name, p.req.Workers, p.timeout, fn)
+		return d.sched.SubmitJob(spec, fn)
 	}
 	payload, err := json.Marshal(p.req)
 	if err != nil {
 		return nil, err
 	}
-	return d.sched.SubmitDurable(farm.JobSpec{
-		Name:       p.name,
-		Workers:    p.req.Workers,
-		Timeout:    p.timeout,
-		Payload:    payload,
-		Checkpoint: ckpt,
-	}, fn)
+	spec.Payload = payload
+	spec.Checkpoint = ckpt
+	return d.sched.SubmitDurable(spec, fn)
 }
 
 func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
@@ -326,13 +353,19 @@ func (d *daemon) submitJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	p.tenant = tenantOf(r)
 	job, err := d.launch(p, nil)
 	if err != nil {
 		code := http.StatusServiceUnavailable
-		if errors.Is(err, farm.ErrBudgetExceeded) {
+		switch {
+		case errors.Is(err, farm.ErrBudgetExceeded):
 			// The client asked for more than this daemon will ever have; a
 			// retry without changing the request cannot succeed.
 			code = http.StatusBadRequest
+		case errors.Is(err, farm.ErrQuotaExceeded):
+			// The tenant's cap, not the daemon's capacity: retry once the
+			// tenant's own jobs drain.
+			code = http.StatusTooManyRequests
 		}
 		httpError(w, code, err)
 		return
@@ -356,6 +389,10 @@ func (d *daemon) recoverJobs() {
 			log.Printf("dstressd: journal entry %d (%s): %v", e.ID, e.Name, err)
 			continue
 		}
+		// The journal, not the replayed body, is authoritative for admission
+		// identity: re-queue under the same tenant (and the body's journaled
+		// priority), so recovery preserves quota accounting and ordering.
+		p.tenant = e.Tenant
 		if budget := d.sched.Budget(); p.req.Workers > budget {
 			// Durable submissions are rejected, not clamped, when they exceed
 			// the budget — but a journaled job must not be lost just because
@@ -486,8 +523,14 @@ func viewOf(j *farm.Job) jobView {
 }
 
 func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := d.lookupJob(w, r)
+	j, st, ok := d.findJob(w, r)
 	if !ok {
+		return
+	}
+	if j == nil {
+		// Evicted by the retention policy but still journaled: a terminal
+		// stub, without the (discarded) result.
+		writeJSON(w, http.StatusOK, jobView{JobStatus: st})
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(j))
@@ -496,10 +539,21 @@ func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
 // waitJob blocks until the job finishes, then reports it like getJob — a
 // long poll, so clients need not busy-loop the status endpoint. It selects
 // on the request context too: a client that disconnects mid-job releases
-// the handler immediately instead of leaking it until the job ends.
+// the handler immediately instead of leaking it until the job ends. With
+// `Accept: text/event-stream` the wait becomes an SSE stream of progress
+// events instead of one blocking response (see serveSSE).
 func (d *daemon) waitJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := d.lookupJob(w, r)
+	j, st, ok := d.findJob(w, r)
 	if !ok {
+		return
+	}
+	if j == nil {
+		// Already terminal (retention stub): nothing to wait for.
+		writeJSON(w, http.StatusOK, jobView{JobStatus: st})
+		return
+	}
+	if wantsSSE(r) {
+		d.serveSSE(w, r, j)
 		return
 	}
 	select {
@@ -508,6 +562,20 @@ func (d *daemon) waitJob(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// Client gone; there is nobody left to write to.
 	}
+}
+
+// wantsSSE reports whether the client asked for a progress stream.
+func wantsSSE(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt := strings.TrimSpace(part)
+			if mt == "text/event-stream" ||
+				strings.HasPrefix(mt, "text/event-stream;") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (d *daemon) cancelJob(w http.ResponseWriter, r *http.Request) {
@@ -531,6 +599,25 @@ func (d *daemon) lookupJob(w http.ResponseWriter, r *http.Request) (*farm.Job, b
 		return nil, false
 	}
 	return j, true
+}
+
+// findJob resolves {id} to a live job, or — when the retention policy has
+// already evicted it — to a journal-backed terminal status stub (nil job,
+// ok=true). False means the error response has been written.
+func (d *daemon) findJob(w http.ResponseWriter, r *http.Request) (*farm.Job, farm.JobStatus, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id"))
+		return nil, farm.JobStatus{}, false
+	}
+	if j, ok := d.sched.Job(id); ok {
+		return j, farm.JobStatus{}, true
+	}
+	if st, ok := d.sched.Status(id); ok {
+		return nil, st, true
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+	return nil, farm.JobStatus{}, false
 }
 
 // getVirusDB serves the database: the index view without an experiment,
@@ -606,9 +693,11 @@ type metricsView struct {
 	Farm  farm.MetricsSnapshot `json:"farm"`
 	Cache farm.CacheStats      `json:"cache"`
 	Sched struct {
-		Budget int              `json:"budget"`
-		InUse  int              `json:"in_use"`
-		Jobs   []farm.JobStatus `json:"jobs"`
+		Budget     int                 `json:"budget"`
+		InUse      int                 `json:"in_use"`
+		QueueDepth int                 `json:"queue_depth"`
+		Jobs       []farm.JobStatus    `json:"jobs"`
+		Tenants    []farm.TenantStatus `json:"tenants"`
 	} `json:"scheduler"`
 	Islands islands.MetricsSnapshot `json:"islands"`
 	Fleet   fleet.Status            `json:"fleet"`
@@ -624,7 +713,9 @@ func (d *daemon) metricsView() metricsView {
 	mv.Cache = d.cache.Stats()
 	mv.Sched.Budget = d.sched.Budget()
 	mv.Sched.InUse = d.sched.InUse()
+	mv.Sched.QueueDepth = d.sched.QueueDepth()
 	mv.Sched.Jobs = d.sched.Jobs()
+	mv.Sched.Tenants = d.sched.Tenants()
 	mv.Islands = d.islandsMet.Snapshot()
 	mv.Fleet = d.fleet.Snapshot()
 	mv.Eval = dram.EvalSnapshot()
@@ -686,7 +777,9 @@ func (d *daemon) handler() http.Handler {
 		httpError(w, http.StatusNotFound,
 			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
 	})
-	return mux
+	// Auth wraps the whole API surface — including the fleet worker verbs, so
+	// remote workers authenticate like any other client (fleet.WithAuthToken).
+	return withAuth(d.auth, mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -728,10 +821,16 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	switch {
 	case errors.Is(err, farm.ErrBudgetExceeded):
 		code = "budget_exceeded"
+	case errors.Is(err, farm.ErrQuotaExceeded):
+		code = "quota_exceeded"
 	case status == http.StatusBadRequest:
 		code = "bad_request"
+	case status == http.StatusUnauthorized:
+		code = "unauthorized"
 	case status == http.StatusNotFound:
 		code = "not_found"
+	case status == http.StatusTooManyRequests:
+		code = "quota_exceeded"
 	case status == http.StatusServiceUnavailable:
 		code = "unavailable"
 	}
@@ -789,7 +888,9 @@ func buildFleetEvaluators(evalCtx json.RawMessage) (farm.EvalFunc, farm.ChunkEva
 }
 
 // runWorker is worker mode: serve a remote coordinator until interrupted.
-func runWorker(coordinator, name string) {
+// token, when non-empty, authenticates every protocol request against a
+// coordinator running with -auth.
+func runWorker(coordinator, name, token string) {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
@@ -799,6 +900,7 @@ func runWorker(coordinator, name string) {
 	defer stop()
 	w := fleet.NewWorker(coordinator, name, buildFleetEvaluator,
 		fleet.WithBatchBuild(buildFleetEvaluators),
+		fleet.WithAuthToken(token),
 		fleet.WithLogf(log.Printf))
 	log.Printf("dstressd: worker %q serving coordinator %s", name, coordinator)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
@@ -826,6 +928,11 @@ func main() {
 		"coordinator base URL for -worker mode, e.g. http://host:8080")
 	workerName := flag.String("worker-name", "",
 		"worker display name in the coordinator's metrics (default host-pid)")
+	authPath := flag.String("auth", "",
+		"bearer-token auth config (JSON: tokens->tenant, tenants->limits); "+
+			"empty serves every client as the anonymous tenant")
+	authToken := flag.String("auth-token", "",
+		"bearer token for -worker mode against a coordinator running with -auth")
 	fleetLease := flag.Duration("fleet-lease", 0,
 		"fleet shard lease TTL before a shard re-queues (default 90s)")
 	fleetTTL := flag.Duration("fleet-worker-ttl", 0,
@@ -836,7 +943,7 @@ func main() {
 		if *coordinator == "" {
 			log.Fatal("dstressd: -worker requires -coordinator=URL")
 		}
-		runWorker(*coordinator, *workerName)
+		runWorker(*coordinator, *workerName, *authToken)
 		return
 	}
 
@@ -881,6 +988,15 @@ func main() {
 		fleet.Config{LeaseTTL: *fleetLease, WorkerTTL: *fleetTTL})
 	if err != nil {
 		log.Fatalf("dstressd: %v", err)
+	}
+	if *authPath != "" {
+		cfg, err := loadAuthConfig(*authPath)
+		if err != nil {
+			log.Fatalf("dstressd: %v", err)
+		}
+		d.setAuth(cfg)
+		log.Printf("dstressd: auth on (%d tokens, %d tenant limit sets)",
+			len(cfg.Tokens), len(cfg.Tenants))
 	}
 	if journal != nil {
 		d.recoverJobs()

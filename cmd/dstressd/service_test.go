@@ -1,0 +1,396 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dstress/internal/farm"
+	"dstress/internal/fleet"
+)
+
+// authedDaemon builds a daemon with bearer auth on: tokA→alpha (MaxJobs 1),
+// tokB→beta (uncapped).
+func authedDaemon(t *testing.T, budget int) (*daemon, *httptest.Server) {
+	t.Helper()
+	d, err := newDaemon(budget, 4, 7, nil, nil, fastFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.setAuth(&authConfig{
+		Tokens: map[string]string{"tokA": "alpha", "tokB": "beta"},
+		Tenants: map[string]farm.TenantLimits{
+			"alpha": {MaxJobs: 1},
+		},
+	})
+	ts := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		d.sched.Close()
+		d.sched.Wait()
+		ts.Close()
+	})
+	return d, ts
+}
+
+// doAuthed sends a request with an optional bearer token and decodes out.
+func doAuthed(t *testing.T, method, url, token string, body []byte, out any) int {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != nil {
+		req, err = http.NewRequest(method, url, strings.NewReader(string(body)))
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestAuthMiddleware is the auth matrix: every API spelling requires a known
+// token, failures carry the unauthorized envelope, the debug surface stays
+// open, and the tenant a token resolves to lands in the submitted job.
+func TestAuthMiddleware(t *testing.T) {
+	_, ts := authedDaemon(t, 4)
+
+	deny := []struct {
+		name, token, url string
+	}{
+		{"no token", "", ts.URL + "/api/v1/jobs"},
+		{"unknown token", "nope", ts.URL + "/api/v1/jobs"},
+		{"legacy alias", "", ts.URL + "/api/jobs"},
+		{"metrics alias", "", ts.URL + "/metrics"},
+		{"fleet verb", "", ts.URL + "/api/v1/fleet/join"},
+	}
+	for _, tc := range deny {
+		var body errorBody
+		code := doAuthed(t, http.MethodGet, tc.url, tc.token, nil, &body)
+		if tc.url == ts.URL+"/api/v1/fleet/join" {
+			code = doAuthed(t, http.MethodPost, tc.url, tc.token, []byte("{}"), &body)
+		}
+		if code != http.StatusUnauthorized {
+			t.Fatalf("%s: HTTP %d, want 401", tc.name, code)
+		}
+		if body.Error.Code != "unauthorized" {
+			t.Fatalf("%s: error code %q, want unauthorized", tc.name, body.Error.Code)
+		}
+	}
+
+	// Debug stays open: it is the operator loopback, not the tenant API.
+	if code := doAuthed(t, http.MethodGet, ts.URL+"/debug/vars", "", nil, nil); code != http.StatusOK {
+		t.Fatalf("debug/vars behind auth: HTTP %d", code)
+	}
+
+	// A valid token submits, and the job is attributed to its tenant.
+	reqBody, _ := json.Marshal(jobRequest{
+		Template: "data64", Generations: 1, Population: 4, Runs: 1, Priority: 2,
+	})
+	var st farm.JobStatus
+	code := doAuthed(t, http.MethodPost, ts.URL+"/api/v1/jobs", "tokB", reqBody, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("authed submit: HTTP %d, want 202", code)
+	}
+	if st.Tenant != "beta" || st.Priority != 2 {
+		t.Fatalf("job attributed to %q prio %d, want beta prio 2", st.Tenant, st.Priority)
+	}
+}
+
+// TestQuota429: a tenant at its job cap gets 429 quota_exceeded — and the
+// rejection is the tenant's, not the daemon's: another tenant submits fine.
+func TestQuota429(t *testing.T) {
+	d, ts := authedDaemon(t, 4)
+
+	// Pin alpha's one allowed live job open, bypassing HTTP so the test
+	// controls its lifetime exactly.
+	release := make(chan struct{})
+	j, err := d.sched.SubmitJob(farm.JobSpec{Name: "hold", Tenant: "alpha", Workers: 1},
+		func(ctx context.Context, j *farm.Job) (any, error) {
+			<-release
+			return nil, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	reqBody, _ := json.Marshal(jobRequest{
+		Template: "data64", Generations: 1, Population: 4, Runs: 1,
+	})
+	var envelope errorBody
+	code := doAuthed(t, http.MethodPost, ts.URL+"/api/v1/jobs", "tokA", reqBody, &envelope)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: HTTP %d, want 429", code)
+	}
+	if envelope.Error.Code != "quota_exceeded" {
+		t.Fatalf("error code %q, want quota_exceeded", envelope.Error.Code)
+	}
+
+	var st farm.JobStatus
+	if code := doAuthed(t, http.MethodPost, ts.URL+"/api/v1/jobs", "tokB", reqBody, &st); code != http.StatusAccepted {
+		t.Fatalf("other tenant's submit: HTTP %d, want 202", code)
+	}
+
+	// The rejection shows up in the per-tenant metrics section.
+	var mv struct {
+		Scheduler struct {
+			QueueDepth int                 `json:"queue_depth"`
+			Tenants    []farm.TenantStatus `json:"tenants"`
+		} `json:"scheduler"`
+	}
+	if code := doAuthed(t, http.MethodGet, ts.URL+"/api/v1/metrics", "tokA", nil, &mv); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	found := false
+	for _, tn := range mv.Scheduler.Tenants {
+		if tn.Tenant == "alpha" {
+			found = true
+			if tn.QuotaRejections != 1 {
+				t.Fatalf("alpha quota_rejections = %d, want 1", tn.QuotaRejections)
+			}
+			if tn.LiveJobs != 1 {
+				t.Fatalf("alpha live_jobs = %d, want 1", tn.LiveJobs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("metrics tenants %+v missing alpha", mv.Scheduler.Tenants)
+	}
+	_ = j
+}
+
+// TestSSEStream: an Accept: text/event-stream wait streams progress events
+// as the search advances and terminates itself with a done event carrying
+// the terminal state.
+func TestSSEStream(t *testing.T) {
+	d, ts := testDaemon(t, 2, false)
+
+	step := make(chan struct{})
+	j, err := d.sched.SubmitJob(farm.JobSpec{Name: "sse", Workers: 1},
+		func(ctx context.Context, job *farm.Job) (any, error) {
+			for gen := 1; gen <= 3; gen++ {
+				<-step
+				job.Progress(gen, 3, float64(gen)*1.5)
+			}
+			return jobResult{Generations: 3, BestFitness: 4.5}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet,
+		ts.URL+"/api/v1/jobs/"+itoa(j.ID())+"/wait", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE wait: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	type frame struct {
+		event string
+		data  string
+	}
+	frames := make(chan frame)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(resp.Body)
+		var f frame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && f.event != "":
+				frames <- f
+				f = frame{}
+			}
+		}
+	}()
+	read := func() frame {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				t.Fatal("stream ended early")
+			}
+			return f
+		case <-time.After(10 * time.Second):
+			t.Fatal("no SSE frame")
+		}
+		return frame{}
+	}
+
+	// Opening frame: the current (pending/running) status.
+	if f := read(); f.event != "progress" {
+		t.Fatalf("first event %q, want progress", f.event)
+	}
+	// Drive the search one generation at a time, reading a frame after each
+	// step so the watcher cannot coalesce every generation into one signal.
+	// The frame after the final step may already be "done" — the job
+	// completes right behind its last Progress call — so collect the whole
+	// stream and assert over the sequence.
+	var all []frame
+	for gen := 1; gen <= 3; gen++ {
+		step <- struct{}{}
+		all = append(all, read())
+	}
+	for f := range frames {
+		all = append(all, f)
+	}
+	sawGen := 0
+	for _, f := range all[:len(all)-1] {
+		if f.event != "progress" {
+			t.Fatalf("mid-stream event %q, want progress", f.event)
+		}
+		var ev struct {
+			Generation int `json:"generation"`
+		}
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("bad event payload %q: %v", f.data, err)
+		}
+		if ev.Generation > 0 {
+			sawGen++
+		}
+	}
+	if sawGen == 0 {
+		t.Fatal("no progress event carried a generation")
+	}
+	last := all[len(all)-1]
+	if last.event != "done" {
+		t.Fatalf("final event %q, want done", last.event)
+	}
+	var ev struct {
+		State  string     `json:"state"`
+		Result *jobResult `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.State != "done" || ev.Result == nil || ev.Result.BestFitness != 4.5 {
+		t.Fatalf("terminal event %+v", ev)
+	}
+}
+
+// TestSSEFinishedJob: attaching a stream to an already-finished job yields
+// its done event immediately.
+func TestSSEFinishedJob(t *testing.T) {
+	d, ts := testDaemon(t, 2, false)
+	j, err := d.sched.SubmitJob(farm.JobSpec{Name: "fast", Workers: 1},
+		func(ctx context.Context, job *farm.Job) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	req, _ := http.NewRequest(http.MethodGet,
+		ts.URL+"/api/v1/jobs/"+itoa(j.ID())+"/wait", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw := make([]byte, 4096)
+	n, _ := resp.Body.Read(raw)
+	if !strings.Contains(string(raw[:n]), "event: done") {
+		t.Fatalf("finished-job stream started with %q, want a done event", raw[:n])
+	}
+}
+
+// TestEvictedJobOverHTTP: a terminal job evicted by the retention policy is
+// a 404 (no journal to synthesize a stub from), not a crash or a zombie.
+func TestEvictedJobOverHTTP(t *testing.T) {
+	d, ts := testDaemon(t, 2, false)
+	d.sched.SetRetention(1)
+	first, err := d.sched.SubmitJob(farm.JobSpec{Name: "a", Workers: 1},
+		func(ctx context.Context, job *farm.Job) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first.Done()
+	second, err := d.sched.SubmitJob(farm.JobSpec{Name: "b", Workers: 1},
+		func(ctx context.Context, job *farm.Job) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-second.Done()
+	waitFor := time.Now().Add(5 * time.Second)
+	for len(d.sched.Jobs()) > 1 && time.Now().Before(waitFor) {
+		time.Sleep(time.Millisecond)
+	}
+	var envelope errorBody
+	code := getJSON(t, ts.URL+"/api/v1/jobs/"+itoa(first.ID()), &envelope)
+	if code != http.StatusNotFound || envelope.Error.Code != "not_found" {
+		t.Fatalf("evicted job: HTTP %d code %q, want 404 not_found",
+			code, envelope.Error.Code)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/"+itoa(second.ID()), nil); code != http.StatusOK {
+		t.Fatalf("retained job: HTTP %d, want 200", code)
+	}
+}
+
+// TestFleetWorkerAuth: a worker with the right bearer token joins an
+// auth-enabled coordinator; one with none is locked out.
+func TestFleetWorkerAuth(t *testing.T) {
+	d, ts := authedDaemon(t, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// No token: join is rejected; the worker retries, never registers.
+	bad := fleet.NewWorker(ts.URL, "intruder", buildFleetEvaluator,
+		fleet.WithLeaseWait(100*time.Millisecond),
+		fleet.WithBackoff(5*time.Millisecond, 20*time.Millisecond, 2))
+	badCtx, badCancel := context.WithTimeout(ctx, 400*time.Millisecond)
+	defer badCancel()
+	_ = bad.Run(badCtx)
+	if n := len(d.fleet.Snapshot().Workers); n != 0 {
+		t.Fatalf("tokenless worker registered (%d workers)", n)
+	}
+
+	// With the token it joins like any tenant client.
+	good := fleet.NewWorker(ts.URL, "authed", buildFleetEvaluator,
+		fleet.WithAuthToken("tokB"),
+		fleet.WithLeaseWait(100*time.Millisecond),
+		fleet.WithBackoff(5*time.Millisecond, 20*time.Millisecond, 2))
+	go good.Run(ctx)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(d.fleet.Snapshot().Workers) == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("authed worker never registered: %+v", d.fleet.Snapshot().Workers)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dstress/internal/farm"
+)
+
+// sseHeartbeat is how often an idle stream emits a comment line so proxies
+// and clients can tell a quiet search from a dead connection. Variable, not
+// constant: tests shrink it.
+var sseHeartbeat = 15 * time.Second
+
+// sseEvent is the payload of every SSE data frame: the job's current status
+// plus, on the terminal "done" event, its result. The event name is
+// "progress" for generation/state updates and "done" exactly once, after
+// which the stream ends.
+type sseEvent struct {
+	farm.JobStatus
+	Result *jobResult `json:"result,omitempty"`
+}
+
+// serveSSE streams a job's progress as Server-Sent Events: one "progress"
+// event per observed generation/state change (coalesced — a slow client
+// skips intermediate generations, never blocks the search), heartbeat
+// comments while the search is quiet, and a final "done" event when the job
+// reaches a terminal state, after which the handler returns. A client
+// disconnect tears the watcher down immediately.
+func (d *daemon) serveSSE(w http.ResponseWriter, r *http.Request, j *farm.Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotAcceptable,
+			fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	notify, stop := j.Watch()
+	defer stop()
+
+	emit := func(name string, ev sseEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	done := func() bool {
+		view := viewOf(j)
+		return emit("done", sseEvent{JobStatus: view.JobStatus, Result: view.Result})
+	}
+
+	// The opening frame is the current status — a client attaching to a
+	// finished job gets its terminal event immediately instead of waiting
+	// for a progress tick that will never come.
+	select {
+	case <-j.Done():
+		done()
+		return
+	default:
+	}
+	if !emit("progress", sseEvent{JobStatus: j.Status()}) {
+		return
+	}
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client gone; stop() detaches the watcher from the job
+		case <-j.Done():
+			done()
+			return
+		case <-notify:
+			select {
+			case <-j.Done():
+				done()
+				return
+			default:
+			}
+			if !emit("progress", sseEvent{JobStatus: j.Status()}) {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

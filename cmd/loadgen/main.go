@@ -1,0 +1,524 @@
+// Command loadgen drives a dstressd daemon with sustained multi-tenant
+// traffic and reports what the service did under it: thousands of concurrent
+// submissions per tenant, p50/p99 submit and wait latencies, per-tenant
+// throughput and the fairness ratio between tenants, and the 429 quota
+// rejections the daemon pushed back with. Rejected submissions are retried
+// with jittered backoff until accepted — the harness never drops a job, so
+// "zero dropped" is an invariant the run itself verifies, not a hope.
+//
+// With -sse it additionally opens one progress stream per tenant
+// (Accept: text/event-stream on /jobs/{id}/wait) and verifies the stream
+// delivers at least one generation event and terminates on job completion.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -tenants alpha=tokA,beta=tokB \
+//	        -jobs 1000 -concurrency 32 [-sse] [-bench BENCH_2026.json]
+//
+// Tenants are "name=token" pairs (token omitted when the daemon runs with
+// auth off: "-tenants alpha,beta" exercises the ledger via job priority
+// only, since an auth-off daemon accounts everyone as anonymous). With
+// -bench the report is grafted into an existing benchjson snapshot as its
+// "loadgen" section, plus loadgen_* derived keys, leaving every other
+// section untouched.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type tenantSpec struct {
+	name  string
+	token string
+}
+
+// jobBody is the submission the storm posts: a deliberately tiny search so
+// the run measures the service surface (admission, quotas, scheduling,
+// streaming), not DRAM simulation throughput.
+type jobBody struct {
+	Name        string  `json:"name"`
+	Template    string  `json:"template,omitempty"`
+	Generations int     `json:"generations"`
+	Population  int     `json:"population"`
+	Rows        int     `json:"rows"`
+	Runs        int     `json:"runs"`
+	Workers     int     `json:"workers"`
+	Priority    int     `json:"priority,omitempty"`
+	TimeoutS    float64 `json:"timeout_s,omitempty"`
+}
+
+// percentiles is a latency digest in milliseconds.
+type percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+func digest(durs []time.Duration) percentiles {
+	if len(durs) == 0 {
+		return percentiles{}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return percentiles{P50: at(0.50), P99: at(0.99), Max: at(1.0)}
+}
+
+// tenantReport is one tenant's slice of the run.
+type tenantReport struct {
+	Jobs          int         `json:"jobs"`
+	Rejections429 int64       `json:"rejections_429"`
+	Retries       int64       `json:"submit_retries"`
+	Submit        percentiles `json:"submit"`
+	Wait          percentiles `json:"wait"`
+	ThroughputJPS float64     `json:"throughput_jobs_per_sec"`
+}
+
+// report is the emitted document and the "loadgen" benchjson section.
+type report struct {
+	Date          string                  `json:"date"`
+	Addr          string                  `json:"addr"`
+	JobsPerTenant int                     `json:"jobs_per_tenant"`
+	Concurrency   int                     `json:"concurrency"`
+	Dropped       int                     `json:"dropped_jobs"` // always 0 or the run failed
+	Tenants       map[string]tenantReport `json:"tenants"`
+	Total         tenantReport            `json:"total"`
+	// FairnessThroughput is min/max per-tenant jobs-per-second: 1.0 is a
+	// perfectly fair split of the farm, small values mean a tenant starved.
+	FairnessThroughput float64    `json:"fairness_throughput"`
+	SSE                *sseReport `json:"sse,omitempty"`
+	WallSeconds        float64    `json:"wall_seconds"`
+}
+
+type sseReport struct {
+	Streams        int  `json:"streams"`
+	ProgressEvents int  `json:"progress_events"`
+	DoneEvents     int  `json:"done_events"`
+	Clean          bool `json:"clean_termination"`
+}
+
+// client wraps the daemon endpoint with one tenant's credentials.
+type client struct {
+	http  *http.Client
+	base  string
+	token string
+}
+
+func (c *client) do(req *http.Request) (*http.Response, error) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return c.http.Do(req)
+}
+
+func (c *client) post(path string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func (c *client) get(path string, out any) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// jobStatus is the subset of the daemon's job view loadgen reads.
+type jobStatus struct {
+	ID         int     `json:"id"`
+	State      string  `json:"state"`
+	Generation int     `json:"generation"`
+	Best       float64 `json:"best_fitness"`
+}
+
+// tenantStats accumulates one tenant's measurements under its own lock.
+type tenantStats struct {
+	mu         sync.Mutex
+	submits    []time.Duration
+	waits      []time.Duration
+	rejections atomic.Int64
+	retries    atomic.Int64
+	completed  atomic.Int64
+	dropped    atomic.Int64
+}
+
+// storm submits jobs jobs for one tenant over workers concurrent lanes,
+// each lane retrying 429s with jittered backoff and long-polling every
+// accepted job to a terminal state.
+func storm(c *client, tenant string, jobs, workers int, body jobBody,
+	st *tenantStats) {
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(lane)*7919 + 1))
+			for i := range next {
+				b := body
+				b.Name = fmt.Sprintf("%s-%d", tenant, i)
+				var js jobStatus
+				var submitDur time.Duration
+				backoff := 10 * time.Millisecond
+				for {
+					t0 := time.Now()
+					code, err := c.post("/api/v1/jobs", b, &js)
+					submitDur = time.Since(t0)
+					if err == nil && code < 300 {
+						break
+					}
+					if code == http.StatusTooManyRequests {
+						st.rejections.Add(1)
+					} else if err != nil && !strings.Contains(err.Error(), "EOF") {
+						fmt.Fprintf(os.Stderr, "loadgen: %s submit: %v\n", tenant, err)
+					}
+					st.retries.Add(1)
+					// Jittered backoff so the retry storm does not arrive in
+					// lockstep with the quota freeing up.
+					time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+					if backoff < 320*time.Millisecond {
+						backoff *= 2
+					}
+				}
+				t1 := time.Now()
+				for {
+					code, err := c.get(fmt.Sprintf("/api/v1/jobs/%d/wait", js.ID), &js)
+					if err == nil && code < 300 &&
+						(js.State == "done" || js.State == "failed" ||
+							js.State == "canceled") {
+						break
+					}
+					// 404 after an acknowledged submit means the job reached a
+					// terminal state and aged out of the daemon's bounded
+					// retention window before this lane's poll arrived — it is
+					// finished, not lost. Anything else is transient.
+					if err == nil && code == http.StatusNotFound {
+						break
+					}
+					if err != nil || code >= 300 {
+						time.Sleep(50 * time.Millisecond)
+					}
+				}
+				waitDur := time.Since(t1)
+				st.mu.Lock()
+				st.submits = append(st.submits, submitDur)
+				st.waits = append(st.waits, waitDur)
+				st.mu.Unlock()
+				st.completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// checkSSE submits one longer job and consumes its event stream, counting
+// progress and done events and verifying the stream ends by itself.
+func checkSSE(c *client, tenant string, body jobBody) (progress, done int,
+	clean bool, err error) {
+	b := body
+	b.Name = tenant + "-sse"
+	// A deliberately slower search than the storm's: the stream must attach
+	// while generations are still ticking to observe progress events. The
+	// tiny data64 template converges in milliseconds no matter how many
+	// generations are requested, so the probe switches to the 512 KiB genome,
+	// where one generation costs hundreds of milliseconds.
+	b.Template = "data512k"
+	b.Generations = 30
+	b.Population = 16
+	b.Runs = 2
+	b.Rows = 4
+	var js jobStatus
+	code, err := c.post("/api/v1/jobs", b, &js)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if code >= 300 {
+		return 0, 0, false, fmt.Errorf("sse submit: http %d", code)
+	}
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/api/v1/jobs/%d/wait", c.base, js.ID), nil)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, false, fmt.Errorf("sse: http %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	sawGen := false
+	for _, frame := range strings.Split(string(raw), "\n\n") {
+		var event, data string
+		for _, line := range strings.Split(frame, "\n") {
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				event = v
+			}
+			if v, ok := strings.CutPrefix(line, "data: "); ok {
+				data = v
+			}
+		}
+		var ev jobStatus
+		if data != "" {
+			_ = json.Unmarshal([]byte(data), &ev)
+		}
+		switch event {
+		case "progress":
+			progress++
+			if ev.Generation > 0 {
+				sawGen = true
+			}
+		case "done":
+			done++
+		}
+	}
+	// Clean termination: ReadAll returned (the daemon closed the stream), a
+	// done event arrived last-ish, and at least one event carried a
+	// generation count from the search.
+	return progress, done, done >= 1 && sawGen, nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	tenantsArg := flag.String("tenants", "anonymous",
+		"comma-separated name=token tenants (token optional when auth is off)")
+	jobs := flag.Int("jobs", 1000, "submissions per tenant")
+	concurrency := flag.Int("concurrency", 32, "in-flight lanes per tenant")
+	template := flag.String("template", "",
+		"genome template submitted with every storm job (daemon default when empty)")
+	generations := flag.Int("generations", 2, "generations per submitted search")
+	population := flag.Int("population", 8, "population per submitted search")
+	rows := flag.Int("rows", 4, "simulated rows per submitted search")
+	priority := flag.Int("priority", 0, "priority submitted with every job")
+	sse := flag.Bool("sse", false,
+		"also verify one SSE progress stream per tenant")
+	benchPath := flag.String("bench", "",
+		"graft the report into this benchjson snapshot as its loadgen section")
+	outPath := flag.String("out", "", "also write the report JSON here")
+	flag.Parse()
+
+	var tenants []tenantSpec
+	for _, part := range strings.Split(*tenantsArg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, token, _ := strings.Cut(part, "=")
+		tenants = append(tenants, tenantSpec{name: name, token: token})
+	}
+	if len(tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no tenants")
+		os.Exit(1)
+	}
+
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * len(tenants) * 2,
+		MaxIdleConnsPerHost: *concurrency * len(tenants) * 2,
+	}}
+	body := jobBody{
+		Template:    *template,
+		Generations: *generations,
+		Population:  *population,
+		Rows:        *rows,
+		Runs:        1,
+		Workers:     1,
+		Priority:    *priority,
+	}
+
+	rep := report{
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Addr:          *addr,
+		JobsPerTenant: *jobs,
+		Concurrency:   *concurrency,
+		Tenants:       map[string]tenantReport{},
+	}
+	stats := make([]*tenantStats, len(tenants))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		stats[i] = &tenantStats{}
+		wg.Add(1)
+		go func(tn tenantSpec, st *tenantStats) {
+			defer wg.Done()
+			c := &client{http: hc, base: *addr, token: tn.token}
+			storm(c, tn.name, *jobs, *concurrency, body, st)
+		}(tn, stats[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var allSubmits, allWaits []time.Duration
+	minJPS, maxJPS := 0.0, 0.0
+	for i, tn := range tenants {
+		st := stats[i]
+		jps := float64(st.completed.Load()) / wall.Seconds()
+		tr := tenantReport{
+			Jobs:          int(st.completed.Load()),
+			Rejections429: st.rejections.Load(),
+			Retries:       st.retries.Load(),
+			Submit:        digest(st.submits),
+			Wait:          digest(st.waits),
+			ThroughputJPS: jps,
+		}
+		rep.Tenants[tn.name] = tr
+		rep.Total.Jobs += tr.Jobs
+		rep.Total.Rejections429 += tr.Rejections429
+		rep.Total.Retries += tr.Retries
+		rep.Dropped += *jobs - tr.Jobs
+		allSubmits = append(allSubmits, st.submits...)
+		allWaits = append(allWaits, st.waits...)
+		if i == 0 || jps < minJPS {
+			minJPS = jps
+		}
+		if jps > maxJPS {
+			maxJPS = jps
+		}
+	}
+	rep.Total.Submit = digest(allSubmits)
+	rep.Total.Wait = digest(allWaits)
+	rep.Total.ThroughputJPS = float64(rep.Total.Jobs) / wall.Seconds()
+	if maxJPS > 0 {
+		rep.FairnessThroughput = minJPS / maxJPS
+	}
+	rep.WallSeconds = wall.Seconds()
+
+	if *sse {
+		sr := &sseReport{Clean: true}
+		for _, tn := range tenants {
+			c := &client{http: hc, base: *addr, token: tn.token}
+			progress, done, clean, err := checkSSE(c, tn.name, body)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: sse (%s): %v\n", tn.name, err)
+				sr.Clean = false
+				continue
+			}
+			sr.Streams++
+			sr.ProgressEvents += progress
+			sr.DoneEvents += done
+			sr.Clean = sr.Clean && clean
+		}
+		rep.SSE = sr
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *benchPath != "" {
+		if err := mergeBench(*benchPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: merged loadgen section into %s\n",
+			*benchPath)
+	}
+	if rep.Dropped != 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d jobs dropped\n", rep.Dropped)
+		os.Exit(1)
+	}
+}
+
+// mergeBench grafts the report into an existing benchjson snapshot as its
+// "loadgen" section plus loadgen_* derived keys. The file is read as a
+// generic document so sections this tool does not know about round-trip
+// unchanged.
+func mergeBench(path string, rep report) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	var section any
+	if err := json.Unmarshal(raw, &section); err != nil {
+		return err
+	}
+	doc["loadgen"] = section
+	if doc["date"] == nil {
+		doc["date"] = rep.Date
+	}
+	derived, _ := doc["derived"].(map[string]any)
+	if derived == nil {
+		derived = map[string]any{}
+	}
+	derived["loadgen_submit_p50_ms"] = rep.Total.Submit.P50
+	derived["loadgen_submit_p99_ms"] = rep.Total.Submit.P99
+	derived["loadgen_wait_p50_ms"] = rep.Total.Wait.P50
+	derived["loadgen_wait_p99_ms"] = rep.Total.Wait.P99
+	derived["loadgen_fairness_throughput"] = rep.FairnessThroughput
+	derived["loadgen_rejections_429"] = float64(rep.Total.Rejections429)
+	doc["derived"] = derived
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

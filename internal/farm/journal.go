@@ -15,8 +15,15 @@ import (
 // needs to re-queue the job — the caller-defined spec to rebuild it and the
 // latest resumable checkpoint to continue it from.
 type JournalEntry struct {
-	ID       int     `json:"id"`
-	Name     string  `json:"name"`
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	// Tenant and Priority preserve the admission identity and ordering of
+	// the original submission: a restarted daemon re-queues recovered jobs
+	// under the same tenant accounting and the same priority band, so
+	// recovery cannot reshuffle who runs first. (Pre-tenancy entries
+	// decode with both zero — anonymous at priority 0, as submitted.)
+	Tenant   string  `json:"tenant,omitempty"`
+	Priority int     `json:"priority,omitempty"`
 	Workers  int     `json:"workers"`
 	TimeoutS float64 `json:"timeout_s,omitempty"`
 	// Spec is the opaque job description the submitter journaled; the farm
@@ -189,6 +196,26 @@ func (jl *Journal) Len() int {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	return len(jl.entries)
+}
+
+// Entry returns one live entry by id — the scheduler's retention fallback
+// uses it to synthesize a status stub for an evicted-but-still-journaled
+// job. Checks the recovered set too: a not-yet-re-queued entry is still
+// "a job this journal knows about".
+func (jl *Journal) Entry(id int) (JournalEntry, bool) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if e, ok := jl.entries[id]; ok {
+		return *e, true
+	}
+	if jl.recoveredLive {
+		for _, e := range jl.recovered {
+			if e.ID == id {
+				return e, true
+			}
+		}
+	}
+	return JournalEntry{}, false
 }
 
 // Close releases the underlying store handle (tests and tools; the daemon

@@ -65,11 +65,29 @@ func (s *JobState) UnmarshalJSON(data []byte) error {
 // would survive restarts even under a budget that could honour the request.
 var ErrBudgetExceeded = errors.New("requested workers exceed the scheduler budget")
 
+// ErrQuotaExceeded reports a submission that would push its tenant past a
+// configured cap (TenantLimits.MaxJobs or MaxWorkers). The submission is
+// refused before it is queued or journaled: quota-rejected work never
+// consumes budget tokens or a queue position. The daemon maps this to
+// HTTP 429 — retryable once the tenant's earlier jobs drain.
+var ErrQuotaExceeded = errors.New("tenant quota exceeded")
+
+// DefaultRetention is how many terminal job statuses the scheduler keeps
+// per tenant before evicting the oldest (see SetRetention).
+const DefaultRetention = 256
+
 // JobStatus is a point-in-time view of a job, JSON-ready for the daemon.
 type JobStatus struct {
 	ID    int      `json:"id"`
 	Name  string   `json:"name"`
 	State JobState `json:"state"`
+	// Tenant is the identity the job is accounted under (AnonymousTenant
+	// when the submitter carried none).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the submitter-declared admission priority; higher admits
+	// first. The tenant's weight is added on top at admission time but is
+	// not part of the job's own status.
+	Priority int `json:"priority,omitempty"`
 	// Workers is the effective worker count the job holds budget tokens for.
 	Workers int `json:"workers"`
 	// RequestedWorkers is the submitted count when the scheduler clamped it
@@ -96,6 +114,9 @@ type JobFunc func(ctx context.Context, j *Job) (any, error)
 type Job struct {
 	id        int
 	name      string
+	tenant    string
+	priority  int
+	seq       uint64 // admission arrival order, assigned under Scheduler.mu at submit
 	workers   int
 	requested int      // submitted worker count before any clamp
 	journal   *Journal // nil unless submitted via SubmitDurable
@@ -108,6 +129,7 @@ type Job struct {
 	err      error
 	result   any
 	canceled bool
+	watchers map[chan struct{}]struct{}
 
 	submitted time.Time
 	started   time.Time
@@ -128,7 +150,40 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) Progress(gen, maxGen int, best float64) {
 	j.mu.Lock()
 	j.gen, j.maxGen, j.best = gen, maxGen, best
+	j.notifyLocked()
 	j.mu.Unlock()
+}
+
+// Watch subscribes to the job's progress and state changes: the returned
+// channel receives a (coalesced) signal whenever Progress is called, the
+// job starts, or it reaches a terminal state. The caller re-reads Status
+// on each signal — the channel carries no payload, so a slow consumer
+// (an SSE client on a bad link) never blocks the search. The second return
+// unsubscribes; always call it.
+func (j *Job) Watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.watchers == nil {
+		j.watchers = make(map[chan struct{}]struct{})
+	}
+	j.watchers[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.watchers, ch)
+		j.mu.Unlock()
+	}
+}
+
+// notifyLocked pokes every watcher without blocking: a full buffer means a
+// signal is already pending and the watcher will re-read the latest state.
+func (j *Job) notifyLocked() {
+	for ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Checkpoint journals the job's newest resumable state (raw JSON, opaque to
@@ -156,6 +211,8 @@ func (j *Job) Status() JobStatus {
 		ID:             j.id,
 		Name:           j.name,
 		State:          j.state,
+		Tenant:         j.tenant,
+		Priority:       j.priority,
 		Workers:        j.workers,
 		Generation:     j.gen,
 		MaxGenerations: j.maxGen,
@@ -179,20 +236,39 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
+// waiter is one job parked in the admission queue. ready is closed exactly
+// once — by dispatchLocked with granted set (tokens already deducted), or by
+// a cancel/close path with granted false.
+type waiter struct {
+	j       *Job
+	n       int    // budget tokens the job needs
+	prio    int    // effective priority: job priority + tenant weight
+	seq     uint64 // admission order within a priority band
+	granted bool
+	ready   chan struct{}
+}
+
 // Scheduler runs campaign jobs concurrently under a global worker budget: a
 // job submitted with N workers holds N budget tokens while it runs, so the
 // total number of concurrently evaluating workers never exceeds the budget.
-// One job failing — error, timeout or panic — never affects the others.
+// Admission is an explicit FIFO-within-priority queue: jobs are granted in
+// (priority desc, submission order) and the head of the queue blocks
+// everything behind it, so a large job can never be starved by a stream of
+// smaller later ones. One job failing — error, timeout or panic — never
+// affects the others.
 type Scheduler struct {
 	budget int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	avail   int
-	closed  bool
-	nextID  int
-	jobs    map[int]*Job
-	journal *Journal
+	mu        sync.Mutex
+	avail     int
+	closed    bool
+	nextID    int
+	nextSeq   uint64
+	jobs      map[int]*Job
+	queue     []*waiter // admission queue, sorted (prio desc, seq asc)
+	tenants   map[string]*tenantState
+	retention int
+	journal   *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -209,10 +285,11 @@ func NewScheduler(budget int) (*Scheduler, error) {
 		budget:     budget,
 		avail:      budget,
 		jobs:       make(map[int]*Job),
+		tenants:    make(map[string]*tenantState),
+		retention:  DefaultRetention,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
-	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
 
@@ -235,11 +312,17 @@ func (s *Scheduler) SetJournal(jl *Journal) {
 	s.mu.Unlock()
 }
 
-// JobSpec describes a durable job: the scheduling knobs plus the opaque
-// payload a restarted daemon needs to rebuild it. Checkpoint carries an
-// initial resumable state when the job itself is a re-queued recovery.
+// JobSpec describes a job: the scheduling knobs plus, for durable jobs, the
+// opaque payload a restarted daemon needs to rebuild it. Checkpoint carries
+// an initial resumable state when the job itself is a re-queued recovery.
 type JobSpec struct {
-	Name       string
+	Name string
+	// Tenant is the identity the job is accounted (and quota-checked)
+	// under; empty means AnonymousTenant.
+	Tenant string
+	// Priority orders admission: higher admits first, FIFO within a band.
+	// The tenant's configured weight is added on top.
+	Priority   int
 	Workers    int
 	Timeout    time.Duration
 	Payload    json.RawMessage
@@ -249,11 +332,18 @@ type JobSpec struct {
 // Submit queues a job requesting the given number of workers (clamped to
 // the budget so it can always start; the clamp is surfaced through
 // JobStatus.RequestedWorkers) and returns immediately. A positive timeout
-// cancels the job that long after it starts running.
+// cancels the job that long after it starts running. The job is accounted
+// under AnonymousTenant at priority 0; use SubmitJob for the full spec.
 func (s *Scheduler) Submit(name string, workers int, timeout time.Duration,
 	fn JobFunc) (*Job, error) {
 	return s.submit(JobSpec{Name: name, Workers: workers, Timeout: timeout},
 		fn, false)
+}
+
+// SubmitJob is Submit with the full spec — tenant and priority included —
+// for callers that don't need durability.
+func (s *Scheduler) SubmitJob(spec JobSpec, fn JobFunc) (*Job, error) {
+	return s.submit(spec, fn, false)
 }
 
 // SubmitDurable is Submit for a job that must survive a daemon restart: the
@@ -284,6 +374,10 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 		}
 		workers = s.budget
 	}
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -294,10 +388,31 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 		s.mu.Unlock()
 		return nil, fmt.Errorf("farm: durable submit without a journal")
 	}
+	// Quotas are enforced here, before the job exists anywhere: a rejected
+	// submission must not hold a queue position, budget tokens or a journal
+	// entry.
+	ts := s.tenantLocked(tenant)
+	if lim := ts.limits.MaxJobs; lim > 0 && ts.live >= lim {
+		ts.rejections++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("farm: tenant %q already has %d live jobs (cap %d): %w",
+			tenant, ts.live, lim, ErrQuotaExceeded)
+	}
+	if lim := ts.limits.MaxWorkers; lim > 0 && ts.demand+workers > lim {
+		ts.rejections++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("farm: tenant %q job %q wants %d workers with %d "+
+			"already committed (quota %d): %w",
+			tenant, spec.Name, workers, ts.demand, lim, ErrQuotaExceeded)
+	}
 	s.nextID++
+	s.nextSeq++
 	j := &Job{
 		id:        s.nextID,
+		seq:       s.nextSeq,
 		name:      spec.Name,
+		tenant:    tenant,
+		priority:  spec.Priority,
 		workers:   workers,
 		requested: requested,
 		state:     JobPending,
@@ -308,15 +423,21 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 		j.journal = journal
 	}
 	s.jobs[j.id] = j
+	ts.live++
+	ts.demand += workers
 	s.wg.Add(1)
 	s.mu.Unlock()
 
 	if durable {
 		// Journal before the job can run: a job that starts evaluating before
-		// its spec is durable could vanish in a crash.
+		// its spec is durable could vanish in a crash. Tenant and priority
+		// ride in the entry so a restarted daemon re-queues with the same
+		// admission ordering.
 		err := journal.add(JournalEntry{
 			ID:         j.id,
 			Name:       spec.Name,
+			Tenant:     tenant,
+			Priority:   spec.Priority,
 			Workers:    workers,
 			TimeoutS:   spec.Timeout.Seconds(),
 			Spec:       spec.Payload,
@@ -327,6 +448,8 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 		if err != nil {
 			s.mu.Lock()
 			delete(s.jobs, j.id)
+			ts.live--
+			ts.demand -= workers
 			s.mu.Unlock()
 			s.wg.Done()
 			return nil, err
@@ -339,16 +462,13 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 
 func (s *Scheduler) run(j *Job, timeout time.Duration, fn JobFunc) {
 	defer s.wg.Done()
-	if !s.acquire(j.workers, j) {
+	if !s.acquire(j) {
 		s.finish(j, nil, context.Canceled, true)
 		return
 	}
-	defer s.release(j.workers)
+	defer s.release(j)
 
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
-	}
+	ctx, cancel := jobContext(s.baseCtx, timeout)
 	defer cancel()
 
 	j.mu.Lock()
@@ -360,6 +480,7 @@ func (s *Scheduler) run(j *Job, timeout time.Duration, fn JobFunc) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.notifyLocked()
 	j.mu.Unlock()
 	if j.journal != nil {
 		// Best-effort: the state string is informational; the entry itself —
@@ -389,10 +510,28 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// jobContext derives a job's run context from the scheduler's base: exactly
+// one cancellable context is created whether or not a timeout applies, and
+// the returned cancel releases it. (An earlier version always created a
+// WithCancel context and then overwrote both it and its cancel func with
+// WithTimeout's when a timeout was set — the first context's registration
+// on the base context was never released, leaking one orphan per timed job
+// for the daemon's lifetime. TestSchedulerJobContextLeak pins this.)
+func jobContext(parent context.Context, timeout time.Duration) (
+	context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(parent, timeout)
+	}
+	return context.WithCancel(parent)
+}
+
 func (s *Scheduler) finish(j *Job, res any, err error, canceled bool) {
+	// One scheduler-lock acquisition covers the shutdown read, the job's
+	// terminal transition and the tenant/retention bookkeeping, so a
+	// concurrent Close/Drain observes either the whole transition or none
+	// of it (lock order s.mu -> j.mu, same as acquire's cancellation check).
 	s.mu.Lock()
 	shutdown := s.closed
-	s.mu.Unlock()
 
 	j.mu.Lock()
 	j.result = res
@@ -407,7 +546,16 @@ func (s *Scheduler) finish(j *Job, res any, err error, canceled bool) {
 		j.state = JobDone
 	}
 	byUser := j.canceled
+	j.notifyLocked()
 	j.mu.Unlock()
+
+	ts := s.tenantLocked(j.tenant)
+	ts.live--
+	ts.demand -= j.workers
+	ts.completed++
+	ts.terminal = append(ts.terminal, j.id)
+	s.evictLocked(ts)
+	s.mu.Unlock()
 
 	if j.journal != nil {
 		// Retire the entry on any genuine terminal state — done, failed, user
@@ -423,22 +571,93 @@ func (s *Scheduler) finish(j *Job, res any, err error, canceled bool) {
 	close(j.done)
 }
 
-// acquire blocks until n budget tokens are free, the scheduler closes, or
-// the waiting job is cancelled — a cancelled pending job must terminate
-// immediately, not once earlier jobs release the budget.
-func (s *Scheduler) acquire(n int, j *Job) bool {
+// acquire blocks until the job's budget tokens are granted, the scheduler
+// closes, or the waiting job is cancelled — a cancelled pending job must
+// terminate immediately, not once earlier jobs release the budget.
+//
+// Admission is an ordered queue, not a free-for-all: every job enters the
+// queue at (priority + tenant weight, arrival order) and dispatchLocked
+// grants strictly from the front. The old unordered cond.Wait admission
+// let whichever waiter woke first take the tokens, so a large job could
+// starve forever behind a stream of small ones; here the queue head blocks
+// everything behind it until it fits.
+func (s *Scheduler) acquire(j *Job) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.closed || j.isCanceled() {
-			return false
-		}
-		if s.avail >= n {
-			s.avail -= n
-			return true
-		}
-		s.cond.Wait()
+	if s.closed || j.isCanceled() {
+		s.mu.Unlock()
+		return false
 	}
+	w := &waiter{
+		j:     j,
+		n:     j.workers,
+		prio:  j.priority + s.tenantLocked(j.tenant).limits.Weight,
+		seq:   j.seq,
+		ready: make(chan struct{}),
+	}
+	s.enqueueLocked(w)
+	s.tenantLocked(j.tenant).queued++
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	<-w.ready
+	s.mu.Lock()
+	granted := w.granted
+	s.mu.Unlock()
+	return granted
+}
+
+// enqueueLocked keeps the queue sorted by (priority desc, seq asc) — FIFO
+// within a priority band. Seq is assigned under the scheduler lock at submit,
+// not when the job's goroutine happens to reach the queue, so two jobs
+// submitted in order admit in order even if their goroutines race here.
+func (s *Scheduler) enqueueLocked(w *waiter) {
+	i := len(s.queue)
+	for k, q := range s.queue {
+		if q.prio < w.prio || (q.prio == w.prio && q.seq > w.seq) {
+			i = k
+			break
+		}
+	}
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = w
+}
+
+// dispatchLocked grants waiters strictly from the queue front while their
+// demands fit the free budget. The first waiter that does not fit stops the
+// scan: admitting someone behind it would re-introduce the starvation the
+// queue exists to prevent.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 {
+		w := s.queue[0]
+		if w.n > s.avail {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.avail -= w.n
+		w.granted = true
+		ts := s.tenantLocked(w.j.tenant)
+		ts.queued--
+		ts.inUse += w.n
+		close(w.ready)
+	}
+}
+
+// removeWaiter pulls a cancelled job out of the admission queue and wakes
+// it ungranted. The queue order of everyone else is untouched; removing the
+// head may unblock the waiters behind it, so dispatch runs again.
+func (s *Scheduler) removeWaiter(j *Job) {
+	s.mu.Lock()
+	for i, w := range s.queue {
+		if w.j == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.tenantLocked(j.tenant).queued--
+			close(w.ready)
+			s.dispatchLocked()
+			break
+		}
+	}
+	s.mu.Unlock()
 }
 
 func (j *Job) isCanceled() bool {
@@ -447,19 +666,58 @@ func (j *Job) isCanceled() bool {
 	return j.canceled
 }
 
-func (s *Scheduler) release(n int) {
+func (s *Scheduler) release(j *Job) {
 	s.mu.Lock()
-	s.avail += n
+	s.avail += j.workers
+	s.tenantLocked(j.tenant).inUse -= j.workers
+	s.dispatchLocked()
 	s.mu.Unlock()
-	s.cond.Broadcast()
 }
 
-// Job looks a job up by id.
+// Job looks a job up by id. Terminal jobs evicted by the retention policy
+// are not found; see Status for the journal-backed stub fallback.
 func (s *Scheduler) Job(id int) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// Status reports a job by id. For a job evicted by the retention policy it
+// falls back to a terminal stub synthesized from the journal entry where
+// one is still on disk (a durable job interrupted before it could retire);
+// a job that is neither live nor journaled is simply gone.
+func (s *Scheduler) Status(id int) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	jl := s.journal
+	s.mu.Unlock()
+	if ok {
+		return j.Status(), true
+	}
+	if jl == nil {
+		return JobStatus{}, false
+	}
+	e, ok := jl.Entry(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return JobStatus{
+		ID:        e.ID,
+		Name:      e.Name,
+		State:     JobCanceled, // an entry for an unknown job is an interrupted one
+		Tenant:    e.Tenant,
+		Priority:  e.Priority,
+		Workers:   e.Workers,
+		Submitted: e.Submitted,
+	}, true
+}
+
+// QueueDepth returns how many jobs are waiting for admission.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 // Jobs returns every job's status, in submission order.
@@ -492,7 +750,7 @@ func (s *Scheduler) Cancel(id int) bool {
 	if cancel != nil {
 		cancel()
 	}
-	s.cond.Broadcast() // wake the job if it is still waiting for budget
+	s.removeWaiter(j) // wake the job if it is still waiting for admission
 	return true
 }
 
@@ -501,8 +759,13 @@ func (s *Scheduler) Cancel(id int) bool {
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
+	q := s.queue
+	s.queue = nil
+	for _, w := range q {
+		s.tenantLocked(w.j.tenant).queued--
+		close(w.ready)
+	}
 	s.mu.Unlock()
-	s.cond.Broadcast()
 	s.baseCancel()
 }
 
@@ -525,10 +788,15 @@ func (s *Scheduler) Drain(timeout time.Duration) bool {
 		s.wg.Wait()
 		close(done)
 	}()
+	// An explicit timer, stopped on the way out: time.After's timer would
+	// outlive a successful drain by the full deadline, and a daemon that
+	// drains often (tests, rolling restarts) would pile them up.
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-done:
 		return true
-	case <-time.After(timeout):
+	case <-t.C:
 		return false
 	}
 }

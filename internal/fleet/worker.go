@@ -45,6 +45,7 @@ type workerEval struct {
 type Worker struct {
 	base       string
 	name       string
+	authToken  string
 	client     *http.Client
 	build      BuildFunc
 	batchBuild BatchBuildFunc
@@ -82,6 +83,12 @@ func WithLeaseWait(d time.Duration) WorkerOption {
 // WithBackoff sets the transport-retry ramp.
 func WithBackoff(min, max time.Duration, factor float64) WorkerOption {
 	return func(w *Worker) { w.boMin, w.boMax, w.boFactor = min, max, factor }
+}
+
+// WithAuthToken sends a bearer token with every protocol request — required
+// when the coordinator runs with auth enabled, a no-op otherwise.
+func WithAuthToken(token string) WorkerOption {
+	return func(w *Worker) { w.authToken = token }
 }
 
 // WithBatchBuild installs the paired builder: contexts are built once and
@@ -385,6 +392,9 @@ func (w *Worker) post(ctx context.Context, verb string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+w.authToken)
+	}
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err
