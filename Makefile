@@ -98,10 +98,10 @@ batch-test:
 # iteration of the same surface, since admission and finish are the
 # scheduler's hottest lock paths.
 service-test:
-	$(GO) test -run 'TestScheduler|TestAuth|TestQuota|TestSSE|TestEvicted|TestFleetWorkerAuth' \
+	$(GO) test -run 'TestScheduler|TestAuth|TestQuota|TestPriority|TestSSE|TestEvicted|TestFleetWorkerAuth' \
 		./internal/farm ./cmd/dstressd
 	$(GO) test -race -count 1 \
-		-run 'TestScheduler|TestAuth|TestQuota|TestSSE|TestEvicted|TestFleetWorkerAuth' \
+		-run 'TestScheduler|TestAuth|TestQuota|TestPriority|TestSSE|TestEvicted|TestFleetWorkerAuth' \
 		./internal/farm ./cmd/dstressd
 
 # Static analysis over the island/surrogate/persistence/batch-evaluation

@@ -16,18 +16,35 @@ import (
 // authConfig is the static auth file the daemon loads at start:
 //
 //	{
-//	  "tokens":  {"tokA": "alpha", "tokB": "beta"},
-//	  "tenants": {"alpha": {"max_workers": 4, "max_jobs": 2, "weight": 1}}
+//	  "tokens":  {"tokA": "alpha", "tokB": "beta", "tokOps": "ops"},
+//	  "tenants": {"alpha": {"max_workers": 4, "max_jobs": 2, "weight": 1}},
+//	  "admins":  ["ops"]
 //	}
 //
 // tokens maps each bearer token to the tenant it authenticates as; tenants
 // carries the per-tenant scheduler limits (farm.TenantLimits — absent or
 // zero fields mean uncapped). A tenant may own several tokens. Tenants named
 // only under "tenants" still get their limits; tenants named only under
-// "tokens" run uncapped.
+// "tokens" run uncapped. admins lists operator tenants with cross-tenant
+// visibility: everyone else sees (and can cancel, wait on or list) only
+// their own jobs — job ids are small sequential integers, so without the
+// ownership check any token holder could enumerate and cancel every other
+// tenant's work.
 type authConfig struct {
 	Tokens  map[string]string            `json:"tokens"`
 	Tenants map[string]farm.TenantLimits `json:"tenants"`
+	Admins  []string                     `json:"admins"`
+}
+
+// isAdmin reports whether the tenant is listed as an operator with
+// cross-tenant visibility.
+func (a *authConfig) isAdmin(tenant string) bool {
+	for _, t := range a.Admins {
+		if t == tenant {
+			return true
+		}
+	}
+	return false
 }
 
 func loadAuthConfig(path string) (*authConfig, error) {

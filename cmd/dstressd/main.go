@@ -44,7 +44,11 @@
 // bearer token; each token maps to a tenant whose scheduler quotas, priority
 // weight and metrics are tracked separately (see authConfig). Without it,
 // every client is the "anonymous" tenant. A submission rejected by its
-// tenant's quota answers 429 quota_exceeded.
+// tenant's quota answers 429 quota_exceeded. Job visibility is scoped to
+// the owning tenant: another tenant's job answers 404 exactly like a
+// missing one (ids are sequential, so a 403 would leak liveness), and the
+// job list and the scheduler section of the metrics show only the caller's
+// own jobs — unless the tenant is listed under the config's "admins".
 //
 // Every error — unknown endpoints and unknown job ids included — answers
 // with the uniform JSON envelope {"error":{"code","message"}}, so fleet
@@ -141,11 +145,12 @@ type jobRequest struct {
 	Workers     int     `json:"workers"`
 	// Priority orders admission when the farm is saturated: higher admits
 	// first, FIFO within equal (tenant-weighted) priority. Zero is the
-	// default band.
+	// default band. Clamped to [0, maxPriority] at submit, so a client
+	// cannot declare its way past the tenant weights the operator set.
 	Priority int    `json:"priority,omitempty"`
 	Seed     uint64 `json:"seed"`
-	Rows        int     `json:"rows"`
-	Runs        int     `json:"runs"`
+	Rows     int    `json:"rows"`
+	Runs     int    `json:"runs"`
 	// Fill is the fixed data background of the access templates, as a hex
 	// string ("0x3333333333333333") — JSON numbers cannot carry 64 bits.
 	Fill     string  `json:"fill"`
@@ -169,6 +174,12 @@ type jobRequest struct {
 	// (no Islands) runs a single island with screening.
 	Surrogate *predict.ScreenPolicy `json:"surrogate,omitempty"`
 }
+
+// maxPriority bounds the client-declared admission priority. The tenant
+// weights an operator configures are chosen relative to this range: an
+// unbounded declared priority would simply be added to the weight in the
+// scheduler, letting any tenant outrank every weighted tenant forever.
+const maxPriority = 9
 
 // parseDeterminism maps the wire spelling to the dram contract version.
 func parseDeterminism(s string) (dram.DeterminismVersion, error) {
@@ -232,7 +243,10 @@ type prepared struct {
 	islands islands.Config
 	name    string
 	tenant  string // server-assigned: auth middleware or journal entry, never the body
-	timeout time.Duration
+	// recovered marks a journal re-queue: quota checks were already passed
+	// by the process that first admitted the job and are skipped on re-entry.
+	recovered bool
+	timeout   time.Duration
 }
 
 // gaParams builds the engine parameters exactly as runSearch will; prepare
@@ -262,6 +276,13 @@ func (d *daemon) prepare(req jobRequest) (prepared, error) {
 	}
 	if req.Seed == 0 {
 		req.Seed = d.seed
+	}
+	// Clamp, don't reject: old journals may carry out-of-range priorities
+	// and recovery funnels through here too.
+	if req.Priority < 0 {
+		req.Priority = 0
+	} else if req.Priority > maxPriority {
+		req.Priority = maxPriority
 	}
 	fill := uint64(0x3333333333333333)
 	if req.Fill != "" {
@@ -324,11 +345,12 @@ func (d *daemon) launch(p prepared, ckpt json.RawMessage) (*farm.Job, error) {
 		return d.runSearch(ctx, j, p, cp)
 	}
 	spec := farm.JobSpec{
-		Name:     p.name,
-		Tenant:   p.tenant,
-		Priority: p.req.Priority,
-		Workers:  p.req.Workers,
-		Timeout:  p.timeout,
+		Name:      p.name,
+		Tenant:    p.tenant,
+		Priority:  p.req.Priority,
+		Workers:   p.req.Workers,
+		Timeout:   p.timeout,
+		Recovered: p.recovered,
 	}
 	if d.journal == nil {
 		return d.sched.SubmitJob(spec, fn)
@@ -392,7 +414,11 @@ func (d *daemon) recoverJobs() {
 		// The journal, not the replayed body, is authoritative for admission
 		// identity: re-queue under the same tenant (and the body's journaled
 		// priority), so recovery preserves quota accounting and ordering.
+		// Recovered submissions bypass the quota check — the previous process
+		// already admitted this work, and a tenant whose limits were lowered
+		// between restarts must not lose a durable job to the new caps.
 		p.tenant = e.Tenant
+		p.recovered = true
 		if budget := d.sched.Budget(); p.req.Workers > budget {
 			// Durable submissions are rejected, not clamped, when they exceed
 			// the budget — but a journaled job must not be lost just because
@@ -498,8 +524,32 @@ func (d *daemon) runSearch(ctx context.Context, j *farm.Job, p prepared,
 	}, nil
 }
 
+// scopedTenant returns the tenant the request's job visibility is limited
+// to, or "" when the caller may see everything: auth is off, or the tenant
+// is an admin (authConfig.Admins).
+func (d *daemon) scopedTenant(r *http.Request) string {
+	if d.auth == nil {
+		return ""
+	}
+	tenant := tenantOf(r)
+	if d.auth.isAdmin(tenant) {
+		return ""
+	}
+	return tenant
+}
+
 func (d *daemon) listJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.sched.Jobs())
+	jobs := d.sched.Jobs()
+	if scope := d.scopedTenant(r); scope != "" {
+		kept := jobs[:0]
+		for _, st := range jobs {
+			if st.Tenant == scope {
+				kept = append(kept, st)
+			}
+		}
+		jobs = kept
+	}
+	writeJSON(w, http.StatusOK, jobs)
 }
 
 // jobView is the GET /api/jobs/{id} response.
@@ -594,16 +644,27 @@ func (d *daemon) lookupJob(w http.ResponseWriter, r *http.Request) (*farm.Job, b
 		return nil, false
 	}
 	j, ok := d.sched.Job(id)
-	if !ok {
+	if !ok || !d.ownsJob(r, j.Tenant()) {
+		// Another tenant's job answers exactly like a missing one: job ids
+		// are small sequential integers, and a 403 would confirm to a
+		// probing tenant which ids are live.
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
 		return nil, false
 	}
 	return j, true
 }
 
+// ownsJob reports whether the request may act on a job accounted under the
+// given tenant.
+func (d *daemon) ownsJob(r *http.Request, tenant string) bool {
+	scope := d.scopedTenant(r)
+	return scope == "" || scope == tenant
+}
+
 // findJob resolves {id} to a live job, or — when the retention policy has
 // already evicted it — to a journal-backed terminal status stub (nil job,
-// ok=true). False means the error response has been written.
+// ok=true). False means the error response has been written. A job owned
+// by another tenant is reported as missing, never as forbidden.
 func (d *daemon) findJob(w http.ResponseWriter, r *http.Request) (*farm.Job, farm.JobStatus, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -611,10 +672,13 @@ func (d *daemon) findJob(w http.ResponseWriter, r *http.Request) (*farm.Job, far
 		return nil, farm.JobStatus{}, false
 	}
 	if j, ok := d.sched.Job(id); ok {
-		return j, farm.JobStatus{}, true
-	}
-	if st, ok := d.sched.Status(id); ok {
-		return nil, st, true
+		if d.ownsJob(r, j.Tenant()) {
+			return j, farm.JobStatus{}, true
+		}
+	} else if st, ok := d.sched.Status(id); ok {
+		if d.ownsJob(r, st.Tenant) {
+			return nil, st, true
+		}
 	}
 	httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
 	return nil, farm.JobStatus{}, false
@@ -723,7 +787,28 @@ func (d *daemon) metricsView() metricsView {
 }
 
 func (d *daemon) getMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.metricsView())
+	mv := d.metricsView()
+	if scope := d.scopedTenant(r); scope != "" {
+		// The scheduler section names every tenant's jobs and ledgers; scope
+		// it to the caller. The aggregate farm/cache/fleet/eval counters stay
+		// — they carry no per-tenant identity. The full view remains on the
+		// operator loopback (/debug/vars) and for admin tenants.
+		jobs := mv.Sched.Jobs[:0]
+		for _, st := range mv.Sched.Jobs {
+			if st.Tenant == scope {
+				jobs = append(jobs, st)
+			}
+		}
+		mv.Sched.Jobs = jobs
+		tenants := mv.Sched.Tenants[:0]
+		for _, tn := range mv.Sched.Tenants {
+			if tn.Tenant == scope {
+				tenants = append(tenants, tn)
+			}
+		}
+		mv.Sched.Tenants = tenants
+	}
+	writeJSON(w, http.StatusOK, mv)
 }
 
 // expvarDaemon feeds expvar from whichever daemon was built last; expvar

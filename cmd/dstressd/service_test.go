@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ import (
 )
 
 // authedDaemon builds a daemon with bearer auth on: tokA→alpha (MaxJobs 1),
-// tokB→beta (uncapped).
+// tokB→beta (uncapped), tokOps→ops (admin: cross-tenant visibility).
 func authedDaemon(t *testing.T, budget int) (*daemon, *httptest.Server) {
 	t.Helper()
 	d, err := newDaemon(budget, 4, 7, nil, nil, fastFleetConfig())
@@ -24,10 +25,11 @@ func authedDaemon(t *testing.T, budget int) (*daemon, *httptest.Server) {
 		t.Fatal(err)
 	}
 	d.setAuth(&authConfig{
-		Tokens: map[string]string{"tokA": "alpha", "tokB": "beta"},
+		Tokens: map[string]string{"tokA": "alpha", "tokB": "beta", "tokOps": "ops"},
 		Tenants: map[string]farm.TenantLimits{
 			"alpha": {MaxJobs: 1},
 		},
+		Admins: []string{"ops"},
 	})
 	ts := httptest.NewServer(d.handler())
 	t.Cleanup(func() {
@@ -176,6 +178,206 @@ func TestQuota429(t *testing.T) {
 		t.Fatalf("metrics tenants %+v missing alpha", mv.Scheduler.Tenants)
 	}
 	_ = j
+}
+
+// TestAuthTenantIsolation: with auth on, a tenant can see, wait on and
+// cancel only its own jobs — another tenant's job answers 404 exactly like
+// a missing one (ids are sequential; a 403 would confirm liveness), and the
+// job list and the scheduler metrics are scoped to the caller. An admin
+// tenant keeps the cross-tenant view.
+func TestAuthTenantIsolation(t *testing.T) {
+	d, ts := authedDaemon(t, 4)
+
+	// Pin an alpha job open so it stays visible (and cancellable) while the
+	// other tenant probes it.
+	release := make(chan struct{})
+	defer close(release)
+	j, err := d.sched.SubmitJob(farm.JobSpec{Name: "secret", Tenant: "alpha", Workers: 1},
+		func(ctx context.Context, j *farm.Job) (any, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := itoa(j.ID())
+
+	// Tenant beta: every per-job verb answers 404 not_found.
+	probes := []struct{ method, path string }{
+		{http.MethodGet, "/api/v1/jobs/" + id},
+		{http.MethodGet, "/api/v1/jobs/" + id + "/wait"},
+		{http.MethodPost, "/api/v1/jobs/" + id + "/cancel"},
+	}
+	for _, pr := range probes {
+		var envelope errorBody
+		var body []byte
+		if pr.method == http.MethodPost {
+			body = []byte("{}")
+		}
+		code := doAuthed(t, pr.method, ts.URL+pr.path, "tokB", body, &envelope)
+		if code != http.StatusNotFound || envelope.Error.Code != "not_found" {
+			t.Fatalf("%s %s as beta: HTTP %d code %q, want 404 not_found",
+				pr.method, pr.path, code, envelope.Error.Code)
+		}
+	}
+	if st := j.Status(); st.State == farm.JobCanceled {
+		t.Fatalf("cross-tenant cancel went through: job state %s", st.State)
+	}
+
+	// The list and the metrics scheduler section are scoped to the caller.
+	var jobs []farm.JobStatus
+	if code := doAuthed(t, http.MethodGet, ts.URL+"/api/v1/jobs", "tokB", nil, &jobs); code != http.StatusOK {
+		t.Fatalf("list as beta: HTTP %d", code)
+	}
+	for _, st := range jobs {
+		if st.Tenant != "beta" {
+			t.Fatalf("beta's job list leaks tenant %q (job %q)", st.Tenant, st.Name)
+		}
+	}
+	var mv struct {
+		Scheduler struct {
+			Jobs    []farm.JobStatus    `json:"jobs"`
+			Tenants []farm.TenantStatus `json:"tenants"`
+		} `json:"scheduler"`
+	}
+	if code := doAuthed(t, http.MethodGet, ts.URL+"/api/v1/metrics", "tokB", nil, &mv); code != http.StatusOK {
+		t.Fatalf("metrics as beta: HTTP %d", code)
+	}
+	for _, st := range mv.Scheduler.Jobs {
+		if st.Tenant != "beta" {
+			t.Fatalf("beta's metrics leak job of tenant %q", st.Tenant)
+		}
+	}
+	for _, tn := range mv.Scheduler.Tenants {
+		if tn.Tenant != "beta" {
+			t.Fatalf("beta's metrics leak ledger of tenant %q", tn.Tenant)
+		}
+	}
+
+	// The owner and the admin both see the job.
+	for _, tok := range []string{"tokA", "tokOps"} {
+		var view jobView
+		if code := doAuthed(t, http.MethodGet, ts.URL+"/api/v1/jobs/"+id, tok, nil, &view); code != http.StatusOK {
+			t.Fatalf("get as %s: HTTP %d, want 200", tok, code)
+		}
+		if view.Name != "secret" {
+			t.Fatalf("get as %s: job %q", tok, view.Name)
+		}
+	}
+	var all []farm.JobStatus
+	if code := doAuthed(t, http.MethodGet, ts.URL+"/api/v1/jobs", "tokOps", nil, &all); code != http.StatusOK {
+		t.Fatalf("list as ops: HTTP %d", code)
+	}
+	found := false
+	for _, st := range all {
+		found = found || st.Tenant == "alpha"
+	}
+	if !found {
+		t.Fatal("admin's job list misses the alpha job")
+	}
+
+	// The owner's cancel still works.
+	if code := doAuthed(t, http.MethodPost, ts.URL+"/api/v1/jobs/"+id+"/cancel",
+		"tokA", []byte("{}"), nil); code != http.StatusOK {
+		t.Fatalf("owner cancel: HTTP %d", code)
+	}
+	<-j.Done()
+}
+
+// TestPriorityClamp: the client-declared priority is clamped to the
+// documented [0, maxPriority] band at submit, so no tenant can declare its
+// way past the operator-configured weights.
+func TestPriorityClamp(t *testing.T) {
+	_, ts := authedDaemon(t, 4)
+	for _, tc := range []struct{ in, want int }{
+		{1_000_000, maxPriority},
+		{-5, 0},
+		{3, 3},
+	} {
+		reqBody, _ := json.Marshal(jobRequest{
+			Template: "data64", Generations: 1, Population: 4, Runs: 1,
+			Priority: tc.in,
+		})
+		var st farm.JobStatus
+		code := doAuthed(t, http.MethodPost, ts.URL+"/api/v1/jobs", "tokB", reqBody, &st)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit priority %d: HTTP %d", tc.in, code)
+		}
+		if st.Priority != tc.want {
+			t.Fatalf("priority %d admitted as %d, want %d", tc.in, st.Priority, tc.want)
+		}
+	}
+}
+
+// TestQuotaRecoveryBypass: a journaled job admitted by a previous process is
+// re-queued on restart even when the tenant's quota was lowered in between —
+// recovery must never strand durable work behind the new caps.
+func TestQuotaRecoveryBypass(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := farm.OpenJournal(filepath.Join(dir, "jobs.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := newDaemon(2, 4, 7, nil, jl, fastFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(jobRequest{
+		Template: "data64", Generations: 1, Population: 4, Runs: 1,
+	})
+	park := func(ctx context.Context, j *farm.Job) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	for _, name := range []string{"first", "second"} {
+		if _, err := d1.sched.SubmitDurable(farm.JobSpec{
+			Name: name, Tenant: "alpha", Workers: 1, Payload: payload,
+		}, park); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d1.sched.InUse() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Shutdown, not user cancel: both entries stay journaled as interrupted.
+	d1.sched.Close()
+	d1.sched.Wait()
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := farm.OpenJournal(filepath.Join(dir, "jobs.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := newDaemon(2, 4, 7, nil, reopened, fastFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		d2.sched.Close()
+		d2.sched.Wait()
+		reopened.Close()
+	}()
+	// The restarted daemon caps alpha at one live job — tighter than the two
+	// the journal holds.
+	d2.setAuth(&authConfig{
+		Tokens:  map[string]string{"tokA": "alpha"},
+		Tenants: map[string]farm.TenantLimits{"alpha": {MaxJobs: 1}},
+	})
+	d2.recoverJobs()
+	if got := len(d2.sched.Jobs()); got != 2 {
+		t.Fatalf("restarted daemon re-queued %d jobs, want 2", got)
+	}
+	for _, tn := range d2.sched.Tenants() {
+		if tn.Tenant == "alpha" && tn.QuotaRejections != 0 {
+			t.Fatalf("recovery charged %d quota rejections", tn.QuotaRejections)
+		}
+	}
 }
 
 // TestSSEStream: an Accept: text/event-stream wait streams progress events

@@ -291,6 +291,63 @@ func TestSchedulerQuotaRejection(t *testing.T) {
 	}
 }
 
+// TestSchedulerRecoveredBypassesQuota: a journal-recovery re-submission
+// (JobSpec.Recovered) is admitted past the tenant's caps — the work was
+// already admitted by the previous process, and a quota lowered between
+// restarts must not strand it in the journal — while the ledger is still
+// charged, so fresh submissions keep seeing the true load.
+func TestSchedulerRecoveredBypassesQuota(t *testing.T) {
+	s, err := NewScheduler(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetTenantLimits(map[string]TenantLimits{
+		"capped": {MaxJobs: 1, MaxWorkers: 2},
+	})
+
+	release := make(chan struct{})
+	defer close(release)
+	park := func(ctx context.Context, j *Job) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := s.SubmitJob(JobSpec{Name: "live", Tenant: "capped", Workers: 2},
+		park); err != nil {
+		t.Fatal(err)
+	}
+
+	// At the job cap and the worker cap: a fresh submission is refused...
+	_, err = s.SubmitJob(JobSpec{Name: "fresh", Tenant: "capped", Workers: 1}, park)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("fresh over-cap submit = %v, want ErrQuotaExceeded", err)
+	}
+	// ...but a recovered one is re-admitted past both caps.
+	rec, err := s.SubmitJob(JobSpec{Name: "recovered", Tenant: "capped",
+		Workers: 2, Recovered: true}, park)
+	if err != nil {
+		t.Fatalf("recovered re-submission rejected: %v", err)
+	}
+	_ = rec
+
+	// The bypass still charges the ledger: live jobs and committed workers
+	// include the recovered job, and only the fresh submit was a rejection.
+	for _, tn := range s.Tenants() {
+		if tn.Tenant != "capped" {
+			continue
+		}
+		if tn.LiveJobs != 2 || tn.WorkersDemand != 4 {
+			t.Fatalf("ledger live=%d demand=%d, want 2/4", tn.LiveJobs, tn.WorkersDemand)
+		}
+		if tn.QuotaRejections != 1 {
+			t.Fatalf("quota rejections = %d, want 1", tn.QuotaRejections)
+		}
+	}
+}
+
 // TestSchedulerRetentionBounded: 10k submissions must not grow the job map
 // without bound — terminal jobs beyond the per-tenant retention cap are
 // evicted, newest retained, and an evicted id is simply not found.

@@ -142,6 +142,10 @@ type Job struct {
 // ID returns the scheduler-assigned job id.
 func (j *Job) ID() int { return j.id }
 
+// Tenant returns the tenant the job is accounted under. Immutable after
+// submit, so no lock is needed.
+func (j *Job) Tenant() string { return j.tenant }
+
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -327,6 +331,12 @@ type JobSpec struct {
 	Timeout    time.Duration
 	Payload    json.RawMessage
 	Checkpoint json.RawMessage
+	// Recovered marks a journal-recovery re-submission: the work was already
+	// admitted (and quota-checked) by a previous process, so the tenant's
+	// caps are not re-checked — a durable job must not be stranded in the
+	// journal because its tenant's limits were lowered between restarts. The
+	// ledger is still charged, so later fresh submissions see the true load.
+	Recovered bool
 }
 
 // Submit queues a job requesting the given number of workers (clamped to
@@ -390,20 +400,23 @@ func (s *Scheduler) submit(spec JobSpec, fn JobFunc, durable bool) (*Job, error)
 	}
 	// Quotas are enforced here, before the job exists anywhere: a rejected
 	// submission must not hold a queue position, budget tokens or a journal
-	// entry.
+	// entry. Recovery re-submissions skip the check — they were admitted by
+	// the previous process and must not be lost to a tightened quota.
 	ts := s.tenantLocked(tenant)
-	if lim := ts.limits.MaxJobs; lim > 0 && ts.live >= lim {
-		ts.rejections++
-		s.mu.Unlock()
-		return nil, fmt.Errorf("farm: tenant %q already has %d live jobs (cap %d): %w",
-			tenant, ts.live, lim, ErrQuotaExceeded)
-	}
-	if lim := ts.limits.MaxWorkers; lim > 0 && ts.demand+workers > lim {
-		ts.rejections++
-		s.mu.Unlock()
-		return nil, fmt.Errorf("farm: tenant %q job %q wants %d workers with %d "+
-			"already committed (quota %d): %w",
-			tenant, spec.Name, workers, ts.demand, lim, ErrQuotaExceeded)
+	if !spec.Recovered {
+		if lim := ts.limits.MaxJobs; lim > 0 && ts.live >= lim {
+			ts.rejections++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("farm: tenant %q already has %d live jobs (cap %d): %w",
+				tenant, ts.live, lim, ErrQuotaExceeded)
+		}
+		if lim := ts.limits.MaxWorkers; lim > 0 && ts.demand+workers > lim {
+			ts.rejections++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("farm: tenant %q job %q wants %d workers with %d "+
+				"already committed (quota %d): %w",
+				tenant, spec.Name, workers, ts.demand, lim, ErrQuotaExceeded)
+		}
 	}
 	s.nextID++
 	s.nextSeq++
@@ -633,6 +646,10 @@ func (s *Scheduler) dispatchLocked() {
 		if w.n > s.avail {
 			return
 		}
+		// Nil the vacated slot before reslicing: the backing array outlives
+		// the grant, and a dangling reference would keep the waiter (and its
+		// job) reachable until the array itself is dropped.
+		s.queue[0] = nil
 		s.queue = s.queue[1:]
 		s.avail -= w.n
 		w.granted = true
